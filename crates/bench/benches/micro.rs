@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the hot controller-side primitives the
+//! simulator models: hashing (paper Section 4.6 measures 79 ns per key on a
+//! Cortex-A53), group construction (merge-sort + packing), level-list
+//! routing, hash-list membership, and Zipfian sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use anykey_core::anykey::entity::{Entity, ValueLoc};
+use anykey_core::anykey::group::GroupContent;
+use anykey_core::hash::xxhash32;
+use anykey_core::Key;
+use anykey_workload::{KeyDist, ZipfianGen};
+
+fn entities(n: u64) -> Vec<Entity> {
+    (0..n)
+        .map(|id| {
+            let key = Key::new(id, 48).unwrap();
+            Entity {
+                key,
+                hash: key.hash32(),
+                value_len: 43,
+                loc: ValueLoc::Inline,
+                tombstone: false,
+                span_extra: 0,
+            }
+        })
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let key40 = [0x6Bu8; 40];
+    c.bench_function("xxhash32_40B_key", |b| {
+        b.iter(|| xxhash32(black_box(&key40), 0))
+    });
+    c.bench_function("key_synthesis_and_hash", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            Key::new(id & 0xFFFF_FFFF, 40).unwrap().hash32()
+        })
+    });
+}
+
+fn bench_group(c: &mut Criterion) {
+    let ents = entities(2_000);
+    c.bench_function("group_build_2000_entities", |b| {
+        b.iter(|| GroupContent::build(black_box(ents.clone()), 8128))
+    });
+    let g = GroupContent::build(entities(2_000), 8128);
+    let probe = Key::new(1_234, 48).unwrap();
+    let h = probe.hash32();
+    c.bench_function("group_route_and_search", |b| {
+        b.iter(|| {
+            let p = g.route_page(black_box(h));
+            g.search_page(p, h, probe)
+        })
+    });
+    c.bench_function("hash_list_membership", |b| {
+        b.iter(|| g.contains_hash(black_box(h)))
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let mut z = ZipfianGen::new(1_000_000, KeyDist::Zipfian { theta: 0.99 }, 7);
+    c.bench_function("zipfian_sample", |b| b.iter(|| z.next_key()));
+}
+
+criterion_group!(benches, bench_hash, bench_group, bench_zipfian);
+criterion_main!(benches);

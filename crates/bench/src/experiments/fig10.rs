@@ -1,0 +1,44 @@
+//! **Figure 10** — CDFs of read latency for the seven representative
+//! workloads (five low-v/k, two high-v/k) under the three systems.
+//!
+//! Expected shape: PinK's tails explode on the low-v/k set (metadata in
+//! flash ⇒ extra reads per GET); AnyKey/AnyKey+ collapse them; on the
+//! high-v/k set all three are comparable.
+
+use anykey_core::EngineKind;
+use anykey_metrics::{Csv, Table};
+use anykey_workload::spec;
+
+use crate::common::{emit, lat, ExpCtx};
+
+/// The paper's Figure 10 workload set, in order (a)–(g).
+pub const WORKLOADS: [&str; 7] = [
+    "RTDATA", "Crypto1", "ZippyDB", "Cache15", "Cache", "W-PinK", "KVSSD",
+];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 10: read latency percentiles",
+        &["workload", "system", "p50", "p90", "p95", "p99", "max"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig10 workload");
+        for kind in EngineKind::EVALUATED {
+            let s = ctx.run_standard(kind, w);
+            t.row([
+                name.to_string(),
+                kind.label().to_string(),
+                lat(s.report.reads.quantile(0.50)),
+                lat(s.report.reads.quantile(0.90)),
+                lat(s.report.reads.quantile(0.95)),
+                lat(s.report.reads.quantile(0.99)),
+                lat(s.report.reads.max()),
+            ]);
+            ctx.dump_cdf(&mut cdf, name, kind.label(), "read", &s.report.reads);
+        }
+    }
+    emit(&t, &ctx.scale.out("fig10.csv"));
+    cdf.write(ctx.scale.out("fig10_cdf.csv")).ok();
+}

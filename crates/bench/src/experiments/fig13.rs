@@ -1,0 +1,46 @@
+//! **Figure 13** — total page writes (device-lifetime proxy) for all 14
+//! workloads under the three systems.
+//!
+//! Expected shape: AnyKey+ roughly halves PinK's total page writes on
+//! average (no GC relocation, no flash-resident metadata rewrite, values
+//! moved at most once out of the log).
+
+use anykey_core::EngineKind;
+use anykey_metrics::report::fmt_count;
+use anykey_metrics::Table;
+use anykey_workload::spec;
+
+use crate::common::{emit, ExpCtx};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 13: total page writes during the measured phase",
+        &["workload", "PinK", "AnyKey", "AnyKey+", "AnyKey+/PinK"],
+    );
+    let mut ratios = Vec::new();
+    for w in spec::ALL {
+        let mut writes = [0u64; 3];
+        for (i, kind) in EngineKind::EVALUATED.into_iter().enumerate() {
+            writes[i] = ctx.run_standard(kind, w).report.counters.total_writes();
+        }
+        let ratio = writes[2] as f64 / writes[0].max(1) as f64;
+        ratios.push(ratio);
+        t.row([
+            w.name.to_string(),
+            fmt_count(writes[0]),
+            fmt_count(writes[1]),
+            fmt_count(writes[2]),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    t.row([
+        "MEAN".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{mean:.2}x"),
+    ]);
+    emit(&t, &ctx.scale.out("fig13.csv"));
+}

@@ -1,0 +1,51 @@
+//! **Figure 14** — storage utilization: how many bytes of unique KV pairs
+//! fit before the device reports full.
+//!
+//! Expected shape: under low-v/k workloads PinK wastes capacity on
+//! flash-resident meta segments (a second copy of every key), so AnyKey
+//! and AnyKey+ fit substantially more unique data.
+
+use anykey_core::{EngineKind, KvError};
+use anykey_metrics::Table;
+use anykey_workload::{ops::fill_ops, spec, WorkloadSpec};
+
+use crate::common::{emit, ExpCtx};
+
+/// Fills a fresh device with unique pairs until it reports full; returns
+/// the achieved utilization (unique bytes / raw capacity).
+pub fn fill_until_full(ctx: &ExpCtx, kind: EngineKind, w: WorkloadSpec) -> f64 {
+    let cfg = ctx.scale.device(kind, w);
+    let mut dev = cfg.build_engine();
+    let huge = 4 * ctx.scale.capacity / w.pair_bytes();
+    for op in fill_ops(w, huge, ctx.scale.seed) {
+        let at = dev.horizon();
+        match dev.execute(&op, at) {
+            Ok(_) => {}
+            Err(KvError::DeviceFull) => break,
+            Err(e) => panic!("unexpected error during fill: {e}"),
+        }
+    }
+    dev.metadata().live_unique_bytes as f64 / ctx.scale.capacity as f64
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 14: storage utilization (unique KV bytes / raw capacity)",
+        &["workload", "class", "PinK", "AnyKey", "AnyKey+"],
+    );
+    for w in spec::ALL {
+        let mut u = [0.0f64; 3];
+        for (i, kind) in EngineKind::EVALUATED.into_iter().enumerate() {
+            u[i] = fill_until_full(ctx, kind, w);
+        }
+        t.row([
+            w.name.to_string(),
+            w.category.to_string(),
+            format!("{:.2}", u[0]),
+            format!("{:.2}", u[1]),
+            format!("{:.2}", u[2]),
+        ]);
+    }
+    emit(&t, &ctx.scale.out("fig14.csv"));
+}

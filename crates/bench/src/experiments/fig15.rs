@@ -1,0 +1,49 @@
+//! **Figure 15** — read latencies under varying DRAM sizes.
+//!
+//! The paper sweeps 32/64/96 MB of DRAM on its 64 GB device (0.05 %,
+//! 0.1 %, 0.15 % of capacity); we sweep the same ratios. Expected shape:
+//! the low-v/k workloads (Crypto1, ETC) degrade as DRAM shrinks (even
+//! AnyKey must drop hash lists), while W-PinK barely notices.
+
+use anykey_core::{DeviceConfig, EngineKind};
+use anykey_metrics::{Csv, Table};
+use anykey_workload::{spec, KeyDist};
+
+use crate::common::{emit, lat, ExpCtx};
+
+const WORKLOADS: [&str; 3] = ["Crypto1", "ETC", "W-PinK"];
+const DRAM_RATIOS: [(f64, &str); 3] = [(0.0005, "0.5x"), (0.001, "1x"), (0.0015, "1.5x")];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 15: p95 read latency vs DRAM size (ratio of the default 0.1%)",
+        &["workload", "system", "DRAM 0.5x", "DRAM 1x", "DRAM 1.5x"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig15 workload");
+        for kind in EngineKind::EVALUATED {
+            let mut cells = vec![name.to_string(), kind.label().to_string()];
+            for (ratio, label) in DRAM_RATIOS {
+                // The write buffer stays at its default size so only the
+                // metadata budget varies, as in the paper.
+                let dram = (ctx.scale.capacity as f64 * ratio) as u64;
+                let buffer = (ctx.scale.capacity / 2048).min(dram - 1);
+                let cfg = DeviceConfig::builder()
+                    .capacity_bytes(ctx.scale.capacity)
+                    .engine(kind)
+                    .key_len(w.key_len as u16)
+                    .dram_bytes(dram)
+                    .write_buffer_bytes(buffer)
+                    .build();
+                let s = ctx.run_with(kind, w, KeyDist::default(), 0.2, Some(cfg));
+                cells.push(lat(s.report.reads.quantile(0.95)));
+                ctx.dump_cdf(&mut cdf, name, kind.label(), label, &s.report.reads);
+            }
+            t.row(cells);
+        }
+    }
+    emit(&t, &ctx.scale.out("fig15.csv"));
+    cdf.write(ctx.scale.out("fig15_cdf.csv")).ok();
+}

@@ -1,0 +1,46 @@
+//! **Figure 16** — read latencies under varying flash page sizes
+//! (4/8/16 KiB).
+//!
+//! Expected shape: larger pages mean fewer groups, smaller level lists,
+//! and a stronger DRAM-residency guarantee, so AnyKey's tails improve
+//! with page size (paper Section 6.4).
+
+use anykey_core::{DeviceConfig, EngineKind};
+use anykey_metrics::{Csv, Table};
+use anykey_workload::{spec, KeyDist};
+
+use crate::common::{emit, lat, ExpCtx};
+
+const WORKLOADS: [&str; 3] = ["Crypto1", "ETC", "W-PinK"];
+/// (page size, pages per block) — block size held at 1 MiB.
+const PAGES: [(u32, u32, &str); 3] = [(4 << 10, 256, "4KB"), (8 << 10, 128, "8KB"), (16 << 10, 64, "16KB")];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 16: p95 read latency vs flash page size",
+        &["workload", "system", "4KB", "8KB", "16KB"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig16 workload");
+        for kind in EngineKind::EVALUATED {
+            let mut cells = vec![name.to_string(), kind.label().to_string()];
+            for (page, ppb, label) in PAGES {
+                let cfg = DeviceConfig::builder()
+                    .capacity_bytes(ctx.scale.capacity)
+                    .engine(kind)
+                    .key_len(w.key_len as u16)
+                    .page_size(page)
+                    .pages_per_block(ppb)
+                    .build();
+                let s = ctx.run_with(kind, w, KeyDist::default(), 0.2, Some(cfg));
+                cells.push(lat(s.report.reads.quantile(0.95)));
+                ctx.dump_cdf(&mut cdf, name, kind.label(), label, &s.report.reads);
+            }
+            t.row(cells);
+        }
+    }
+    emit(&t, &ctx.scale.out("fig16.csv"));
+    cdf.write(ctx.scale.out("fig16_cdf.csv")).ok();
+}

@@ -1,0 +1,40 @@
+//! **Figure 17** — ETC latency under varying key-popularity distributions.
+//!
+//! Expected shape: as the distribution evens out (lower Zipfian θ, or
+//! uniform), more requests land on the lower LSM levels whose metadata
+//! PinK keeps in flash, so PinK degrades; AnyKey/AnyKey+ stay uniform
+//! because their metadata covers every level from DRAM.
+
+use anykey_core::EngineKind;
+use anykey_metrics::{Csv, Table};
+use anykey_workload::{spec, KeyDist};
+
+use crate::common::{emit, lat, ExpCtx};
+
+const DISTS: [(&str, KeyDist); 4] = [
+    ("uniform", KeyDist::Uniform),
+    ("zipf-0.6", KeyDist::Zipfian { theta: 0.6 }),
+    ("zipf-0.8", KeyDist::Zipfian { theta: 0.8 }),
+    ("zipf-0.99", KeyDist::Zipfian { theta: 0.99 }),
+];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let w = spec::by_name("ETC").expect("fig17 workload");
+    let mut t = Table::new(
+        "Figure 17: ETC p95 read latency vs key distribution",
+        &["system", "uniform", "zipf-0.6", "zipf-0.8", "zipf-0.99"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for kind in EngineKind::EVALUATED {
+        let mut cells = vec![kind.label().to_string()];
+        for (label, dist) in DISTS.clone() {
+            let s = ctx.run_with(kind, w, dist, 0.2, None);
+            cells.push(lat(s.report.reads.quantile(0.95)));
+            ctx.dump_cdf(&mut cdf, "ETC", kind.label(), label, &s.report.reads);
+        }
+        t.row(cells);
+    }
+    emit(&t, &ctx.scale.out("fig17.csv"));
+    cdf.write(ctx.scale.out("fig17_cdf.csv")).ok();
+}

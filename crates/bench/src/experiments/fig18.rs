@@ -1,0 +1,41 @@
+//! **Figure 18** — UDB scan latencies under varying scan lengths.
+//!
+//! Expected shape: AnyKey's benefit grows with scan length — consecutive
+//! keys live in the pages of one (or few) data segment groups, while
+//! PinK's values are scattered wherever the write buffer flushed them.
+//! Short scans are comparable.
+
+use anykey_core::EngineKind;
+use anykey_metrics::{Csv, Table};
+use anykey_workload::spec;
+
+use crate::common::{emit, lat, ExpCtx};
+
+const LENGTHS: [u32; 4] = [10, 100, 150, 200];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let w = spec::by_name("UDB").expect("fig18 workload");
+    let mut t = Table::new(
+        "Figure 18: UDB scan latency (p95) vs scan length",
+        &["system", "len 10", "len 100", "len 150", "len 200"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for kind in EngineKind::EVALUATED {
+        let mut cells = vec![kind.label().to_string()];
+        for len in LENGTHS {
+            let s = ctx.run_scans(kind, w, len);
+            cells.push(lat(s.report.scans.quantile(0.95)));
+            ctx.dump_cdf(
+                &mut cdf,
+                "UDB",
+                kind.label(),
+                &format!("len{len}"),
+                &s.report.scans,
+            );
+        }
+        t.row(cells);
+    }
+    emit(&t, &ctx.scale.out("fig18.csv"));
+    cdf.write(ctx.scale.out("fig18_cdf.csv")).ok();
+}

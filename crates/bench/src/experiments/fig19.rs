@@ -1,0 +1,74 @@
+//! **Figure 19** — the impact of the value-log size (5 %, 10 %, 15 % of
+//! the device) on (a) IOPS and (b) total page writes, plus the AnyKey−
+//! (no value log) ablation under a higher write ratio (Section 6.7).
+//!
+//! Expected shape: workloads with small values (ZippyDB) are insensitive;
+//! larger-value workloads (UDB, ETC) gain IOPS and shed page writes with a
+//! bigger log (fewer log-triggered compactions). Without a log, IOPS
+//! collapses as the write ratio grows.
+
+use anykey_core::{DeviceConfig, EngineKind};
+use anykey_metrics::report::fmt_count;
+use anykey_metrics::Table;
+use anykey_workload::{spec, KeyDist};
+
+use crate::common::{emit, kiops, ExpCtx};
+
+const WORKLOADS: [&str; 3] = ["ZippyDB", "UDB", "ETC"];
+const LOG_FRACS: [(f64, &str); 3] = [(0.05, "5%"), (0.10, "10%"), (0.15, "15%")];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut a = Table::new(
+        "Figure 19a: AnyKey+ IOPS (kIOPS) vs value-log size",
+        &["workload", "log 5%", "log 10%", "log 15%"],
+    );
+    let mut b = Table::new(
+        "Figure 19b: AnyKey+ total page writes vs value-log size",
+        &["workload", "log 5%", "log 10%", "log 15%"],
+    );
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig19 workload");
+        let mut ra = vec![name.to_string()];
+        let mut rb = vec![name.to_string()];
+        for (frac, _) in LOG_FRACS {
+            let cfg = DeviceConfig::builder()
+                .capacity_bytes(ctx.scale.capacity)
+                .engine(EngineKind::AnyKeyPlus)
+                .key_len(w.key_len as u16)
+                .value_log_bytes((ctx.scale.capacity as f64 * frac) as u64)
+                .build();
+            let s = ctx.run_with(EngineKind::AnyKeyPlus, w, KeyDist::default(), 0.2, Some(cfg));
+            ra.push(kiops(s.report.iops()));
+            rb.push(fmt_count(s.report.counters.total_writes()));
+        }
+        a.row(ra);
+        b.row(rb);
+    }
+    emit(&a, &ctx.scale.out("fig19a.csv"));
+    emit(&b, &ctx.scale.out("fig19b.csv"));
+
+    // Section 6.7 ablation: AnyKey+ vs AnyKey− at 20% and 40% writes.
+    let mut c = Table::new(
+        "Section 6.7: value-log ablation (kIOPS)",
+        &[
+            "workload",
+            "AnyKey+ 20%w",
+            "AnyKey- 20%w",
+            "AnyKey+ 40%w",
+            "AnyKey- 40%w",
+        ],
+    );
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig19 workload");
+        let mut row = vec![name.to_string()];
+        for ratio in [0.2, 0.4] {
+            for kind in [EngineKind::AnyKeyPlus, EngineKind::AnyKeyNoLog] {
+                let s = ctx.run_with(kind, w, KeyDist::default(), ratio, None);
+                row.push(kiops(s.report.iops()));
+            }
+        }
+        c.row(row);
+    }
+    emit(&c, &ctx.scale.out("fig19c_ablation.csv"));
+}

@@ -1,0 +1,35 @@
+//! **Figure 2** — the motivating observation: PinK's p95 read tail latency
+//! and IOPS degrade as the value-to-key ratio shrinks (values 20 B → 1280 B
+//! over a fixed 40 B key).
+
+use anykey_core::EngineKind;
+use anykey_metrics::{Csv, Table};
+use anykey_workload::WorkloadSpec;
+
+use crate::common::{emit, kiops, lat, ExpCtx};
+
+const VALUES: [u32; 7] = [20, 40, 80, 160, 320, 640, 1280];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Figure 2: PinK under varying value-to-key ratios (key = 40B)",
+        &["v/k", "p50 read", "p95 read", "p99 read", "kIOPS"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    for v in VALUES {
+        let spec = WorkloadSpec::synthetic("vk-sweep", 40, v);
+        let s = ctx.run_standard(EngineKind::Pink, spec);
+        let label = format!("{}/40", v);
+        t.row([
+            label.clone(),
+            lat(s.report.reads.quantile(0.50)),
+            lat(s.report.reads.quantile(0.95)),
+            lat(s.report.reads.quantile(0.99)),
+            kiops(s.report.iops()),
+        ]);
+        ctx.dump_cdf(&mut cdf, "vk-sweep", "PinK", &label, &s.report.reads);
+    }
+    emit(&t, &ctx.scale.out("fig2.csv"));
+    cdf.write(ctx.scale.out("fig2_cdf.csv")).ok();
+}

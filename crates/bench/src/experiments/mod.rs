@@ -1,0 +1,51 @@
+//! One module per paper table/figure. Each exposes
+//! `pub fn run(ctx: &ExpCtx)`.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig2;
+pub mod probe;
+pub mod multitenant;
+pub mod scalability;
+pub mod table1;
+pub mod table3;
+
+use crate::common::ExpCtx;
+
+/// All experiment ids in paper order.
+pub const ALL: [&str; 15] = [
+    "table1", "fig2", "table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "scalability", "multitenant",
+];
+
+/// Dispatches one experiment by id; returns false for unknown ids.
+pub fn dispatch(id: &str, ctx: &ExpCtx) -> bool {
+    match id {
+        "table1" => table1::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "table3" => table3::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "fig12" => fig12::run(ctx),
+        "fig13" => fig13::run(ctx),
+        "fig14" => fig14::run(ctx),
+        "fig15" => fig15::run(ctx),
+        "fig16" => fig16::run(ctx),
+        "fig17" => fig17::run(ctx),
+        "fig18" => fig18::run(ctx),
+        "fig19" => fig19::run(ctx),
+        "scalability" => scalability::run(ctx),
+        "multitenant" => multitenant::run(ctx),
+        "probe" => probe::run(ctx),
+        _ => return false,
+    }
+    true
+}

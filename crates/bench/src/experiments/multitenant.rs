@@ -1,0 +1,60 @@
+//! **Section 6.9** — multi-workload execution: the device is split into
+//! two equal partitions, each running its own engine instance — one
+//! serving W-PinK (high-v/k), one serving ZippyDB (low-v/k).
+//!
+//! Expected shape: switching both partitions from PinK to AnyKey improves
+//! the low-v/k tenant's p95 dramatically and the high-v/k tenant's
+//! modestly.
+//!
+//! Modeling note: partitions are simulated as independent half-capacity
+//! devices (half DRAM each); cross-tenant chip contention is not modeled
+//! (see EXPERIMENTS.md).
+
+use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
+use anykey_core::{runner, warm_up, DeviceConfig, EngineKind};
+use anykey_metrics::Table;
+use anykey_workload::{spec, OpStreamBuilder};
+
+use crate::common::{emit, lat, ExpCtx};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let mut t = Table::new(
+        "Section 6.9: two-tenant partitioned device (p95 read latency)",
+        &["tenant", "PinK", "AnyKey", "improvement"],
+    );
+    let half = ctx.scale.capacity / 2;
+    for name in ["W-PinK", "ZippyDB"] {
+        let w = spec::by_name(name).expect("multitenant workload");
+        let mut p95 = [0u64; 2];
+        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus].into_iter().enumerate() {
+            // Half-capacity partitions need proportionally smaller erase
+            // blocks to keep one block per chip.
+            let cfg = DeviceConfig::builder()
+                .capacity_bytes(half)
+                .pages_per_block(64)
+                .engine(kind)
+                .key_len(w.key_len as u16)
+                .build();
+            let mut dev = cfg.build_engine();
+            let keyspace =
+                ((half as f64 * ctx.scale.fill_for(w)) / w.pair_bytes() as f64 * 0.9) as u64;
+            warm_up(dev.as_mut(), w, keyspace, ctx.scale.seed).expect("multitenant warm-up");
+            let ops = OpStreamBuilder::new(w, keyspace)
+                .seed(ctx.scale.seed ^ 0x7E4A)
+                .build();
+            let n = (half as f64 * ctx.scale.ops_factor / w.pair_bytes() as f64) as u64;
+            let report =
+                runner::run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH).expect("multitenant run");
+            p95[i] = report.reads.quantile(0.95);
+        }
+        let improvement = p95[0] as f64 / p95[1].max(1) as f64;
+        t.row([
+            name.to_string(),
+            lat(p95[0]),
+            lat(p95[1]),
+            format!("{improvement:.2}x"),
+        ]);
+    }
+    emit(&t, &ctx.scale.out("multitenant.csv"));
+}

@@ -1,0 +1,57 @@
+//! `probe` — diagnostic single run: dumps latency histograms, flash
+//! counters, reads-per-GET and device state for one (workload, system)
+//! pair. Not a paper experiment; used to sanity-check the simulator.
+
+use anykey_core::EngineKind;
+use anykey_workload::spec;
+
+use crate::common::ExpCtx;
+
+/// Runs the probe for a hard-coded representative pair unless overridden
+/// by `PROBE_WORKLOAD` / `PROBE_SYSTEM`.
+pub fn run(ctx: &ExpCtx) {
+    let wname = std::env::var("PROBE_WORKLOAD").unwrap_or_else(|_| "ZippyDB".into());
+    let sname = std::env::var("PROBE_SYSTEM").unwrap_or_else(|_| "anykey+".into());
+    let w = spec::by_name(&wname).expect("probe workload");
+    let kind = match sname.to_ascii_lowercase().as_str() {
+        "pink" => EngineKind::Pink,
+        "anykey" => EngineKind::AnyKey,
+        "anykey-" => EngineKind::AnyKeyNoLog,
+        _ => EngineKind::AnyKeyPlus,
+    };
+    if std::env::var("PROBE_MODE").as_deref() == Ok("fill") {
+        use anykey_core::KvError;
+        let cfg = ctx.scale.device(kind, w);
+        let mut dev = cfg.build_engine();
+        let huge = 4 * ctx.scale.capacity / w.pair_bytes();
+        let mut inserted = 0u64;
+        for op in anykey_workload::ops::fill_ops(w, huge, ctx.scale.seed) {
+            let at = dev.horizon();
+            match dev.execute(&op, at) {
+                Ok(_) => inserted += 1,
+                Err(KvError::DeviceFull) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        let m = dev.metadata();
+        println!(
+            "fill-to-full: {} {} inserted={} unique={:.3} of capacity",
+            w.name,
+            kind.label(),
+            inserted,
+            m.live_unique_bytes as f64 / ctx.scale.capacity as f64
+        );
+        println!("meta: {m:#?}");
+        println!("counters:\n{}", dev.counters());
+        return;
+    }
+    let s = ctx.run_standard(kind, w);
+    println!("workload={} system={}", s.workload, s.system);
+    println!("ops={} found={} notfound={}", s.report.ops, s.report.found, s.report.not_found);
+    println!("virtual span: {:.3}s  IOPS={:.0}", (s.report.end - s.report.start) as f64 / 1e9, s.report.iops());
+    println!("reads : {}", s.report.reads);
+    println!("writes: {}", s.report.writes);
+    println!("reads/GET histogram: {:?} mean={:.2}", s.report.reads_per_get, s.report.mean_reads_per_get());
+    println!("counters:\n{}", s.report.counters);
+    println!("meta: {:#?}", s.meta);
+}

@@ -1,0 +1,17 @@
+//! # anykey-bench
+//!
+//! The experiment harness of the AnyKey reproduction: one module per table
+//! or figure of the paper's evaluation (Section 5–6), each regenerating the
+//! same rows/series the paper reports — at a scaled-down capacity with the
+//! paper's ratios (DRAM = 0.1 % of capacity, 8-channel × 8-chip geometry,
+//! Zipfian 0.99, 20 % writes, queue depth 64) so a full sweep runs in
+//! minutes instead of the paper's 4–13 hours per workload.
+//!
+//! Run `anykey-bench all` (or a single experiment id like `fig12`) from the
+//! workspace root; tables print to stdout and CSV series land in
+//! `results/`.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{ExpCtx, Scale, Summary};

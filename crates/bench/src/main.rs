@@ -1,0 +1,95 @@
+//! `anykey-bench` — regenerates the AnyKey paper's tables and figures.
+//!
+//! ```text
+//! anykey-bench <experiment|all> [--capacity-mb N] [--fill F]
+//!              [--ops-factor F] [--out DIR] [--seed S] [--quick]
+//! ```
+
+use std::time::Instant;
+
+use anykey_bench::common::Scale;
+use anykey_bench::experiments;
+use anykey_bench::ExpCtx;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anykey-bench <experiment|all> [options]\n\
+         experiments: {}\n\
+         options:\n\
+           --capacity-mb N   device capacity in MiB (default 64)\n\
+           --fill F          warm-up fill fraction (default 0.55)\n\
+           --ops-factor F    measured ops as multiple of capacity (default 2.0)\n\
+           --out DIR         CSV output directory (default results/)\n\
+           --seed S          RNG seed\n\
+           --quick           small/fast smoke scale",
+        experiments::ALL.join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--capacity-mb" => {
+                i += 1;
+                scale.capacity = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage())
+                    << 20;
+            }
+            "--fill" => {
+                i += 1;
+                scale.fill = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--ops-factor" => {
+                i += 1;
+                scale.ops_factor =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                scale.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--quick" => scale = scale.clone().quick(),
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let ctx = ExpCtx::new(scale);
+    println!(
+        "# AnyKey reproduction harness — capacity {} MiB, DRAM {} KiB (0.1%), fill {:.0}%, seed {}\n",
+        ctx.scale.capacity >> 20,
+        (ctx.scale.capacity / 1024) >> 10,
+        ctx.scale.fill * 100.0,
+        ctx.scale.seed
+    );
+    for id in &ids {
+        let t0 = Instant::now();
+        println!("## {id}");
+        if !experiments::dispatch(id, &ctx) {
+            eprintln!("unknown experiment '{id}'");
+            usage();
+        }
+        println!("({id} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,570 @@
+//! Flush, tree-triggered and log-triggered compaction (paper Sections
+//! 4.4.2–4.4.3 and the Section 4.7 AnyKey+ enhancement).
+
+use anykey_flash::{Ns, OpCause, Ppa};
+
+use crate::anykey::entity::{Entity, ValueLoc};
+use crate::anykey::group::{pack_groups, Group};
+use crate::anykey::level::Level;
+use crate::anykey::AnyKeyStore;
+use crate::error::KvError;
+
+/// What a compaction does with values that live in the value log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum InlinePolicy {
+    /// Tree-triggered compaction: pointers are copied, values stay put.
+    Keep,
+    /// Base AnyKey log-triggered compaction: every logged value of both
+    /// levels is merged into the new data segment groups.
+    InlineAll,
+    /// AnyKey+ log-triggered compaction: inline until the destination
+    /// level's physical size reaches the budget (θ × threshold), then write
+    /// the remaining values back to the log head so their old blocks still
+    /// free up (Figure 9b).
+    InlineUntil(u64),
+}
+
+/// Where the upper input of a compaction comes from.
+pub(crate) enum Source {
+    /// An L0 flush: entities assembled from the write buffer.
+    Flush(Vec<Entity>),
+    /// A whole LSM level.
+    Level(usize),
+}
+
+impl AnyKeyStore {
+    /// Flushes the write buffer into L1 (an L0→L1 compaction), securing
+    /// value-log space first and cascading tree compactions afterwards.
+    pub(crate) fn flush(&mut self, at: Ns) -> Result<Ns, KvError> {
+        if self.buffer.is_empty() {
+            return Ok(at);
+        }
+        let mut t = self.gc_if_needed(at)?;
+
+        // Secure log space for the incoming values (log-triggered
+        // compaction trigger, Section 4.4.3).
+        let need = self.buffer.pending_value_bytes();
+        if self.log.is_some() && need > 0 {
+            let mut rounds = 0usize;
+            while self
+                .log
+                .as_ref()
+                .expect("checked above")
+                .would_overflow(need)
+            {
+                rounds += 1;
+                if rounds > self.levels.len() + 2 {
+                    self.debug_full("log relief made no progress");
+                    return Err(KvError::DeviceFull);
+                }
+                // Escalate to unconditional inlining if θ-capped rounds
+                // are not reclaiming enough space.
+                t = self.log_triggered_compaction(t, rounds > 2)?;
+            }
+        }
+
+        // Assemble entities; values go to the value log first (Section
+        // 4.4.2), or inline for AnyKey−.
+        let entries = self.buffer.drain();
+        let mut ents = Vec::with_capacity(entries.len());
+        let mut t_log = t;
+        for (key, be) in entries {
+            let loc = if !be.tombstone && be.value_len > 0 && self.log.is_some() {
+                let (ptr, done) =
+                    self.log
+                        .as_mut()
+                        .expect("checked")
+                        .append(&mut self.flash, be.value_len, t)?;
+                t_log = t_log.max(done);
+                ValueLoc::Logged(ptr)
+            } else {
+                ValueLoc::Inline
+            };
+            ents.push(Entity {
+                key,
+                hash: key.hash32(),
+                value_len: be.value_len,
+                loc,
+                tombstone: be.tombstone,
+                span_extra: 0,
+            });
+        }
+        let t_ack = self.compact(Source::Flush(ents), 0, InlinePolicy::Keep, t_log)?;
+        // Deeper tree compactions run pipelined in the background: they
+        // consume chip time (and therefore delay future flushes through
+        // the background queues), but the buffer is available again once
+        // the L0->L1 merge lands.
+        self.maintain(t_ack)?;
+        Ok(t_ack)
+    }
+
+    /// Cascades tree-triggered compactions while any level exceeds its
+    /// threshold.
+    pub(crate) fn maintain(&mut self, at: Ns) -> Result<Ns, KvError> {
+        let mut t = at;
+        let mut i = 0;
+        while i < self.levels.len() {
+            if self.levels[i].over_threshold() {
+                self.ensure_next_level(i);
+                t = self.compact(Source::Level(i), i + 1, InlinePolicy::Keep, t)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(t)
+    }
+
+    fn ensure_next_level(&mut self, i: usize) {
+        if i + 1 == self.levels.len() {
+            let threshold = self.levels[i].threshold * self.cfg.level_ratio;
+            self.levels.push(Level::new(threshold));
+        }
+    }
+
+    /// Log-triggered compaction (Section 4.4.3): pick a source level, merge
+    /// it down with its values inlined, then reclaim fully-invalid log
+    /// blocks. AnyKey selects the level with the most *valid* logged bytes;
+    /// AnyKey+ the one with the most *invalid* logged bytes, and caps
+    /// inlining at θ × threshold to avoid compaction chains (Section 4.7).
+    pub(crate) fn log_triggered_compaction(
+        &mut self,
+        at: Ns,
+        escalate: bool,
+    ) -> Result<Ns, KvError> {
+        let last_idx = self.levels.iter().rposition(|l| !l.is_empty()).unwrap_or(0);
+        if self.is_plus() && !escalate {
+            // AnyKey+ relieves the log with in-place partial rewrites:
+            // every level's pointer-holding groups are rebuilt with their
+            // values inlined, deepest (oldest log content) first. No level
+            // merge happens, so no destination can overflow its threshold —
+            // the compaction chain of Figure 9a is avoided entirely, which
+            // is the goal of the paper's θ-capped variant. (The θ-capped
+            // merge itself is implemented as InlinePolicy::InlineUntil and
+            // exercised by escalated rounds.)
+            if self.levels.iter().all(|l| l.logged_bytes == 0) {
+                return Err(KvError::DeviceFull);
+            }
+            let mut t = at;
+            let goal = self
+                .log
+                .as_ref()
+                .map(|l| l.capacity_bytes() / 2)
+                .unwrap_or(0);
+            for li in (0..self.levels.len()).rev() {
+                if self.levels[li].logged_bytes > 0 {
+                    t = self.inline_rewrite_level(li, t)?;
+                    let (_, tr) = self
+                        .log
+                        .as_mut()
+                        .expect("log-triggered compaction requires a log")
+                        .reclaim(&mut self.flash, t);
+                    t = tr;
+                    // Deep levels own the oldest log blocks; stop as soon
+                    // as enough space is free so the hot upper-level
+                    // values can keep dying in the log instead of being
+                    // inlined and re-copied by every tree merge.
+                    if self.log.as_ref().expect("checked").free_bytes() >= goal {
+                        break;
+                    }
+                }
+            }
+            return self.maintain(t);
+        }
+        let pick = if self.is_plus() {
+            // AnyKey+ targets reclaimable log space (Section 4.7): the dead
+            // bytes a level's updates stranded in the log, plus the live
+            // bytes its θ-capped inlining can actually absorb — a merge
+            // whose destination already sits at θ × threshold would inline
+            // nothing and reclaim nothing.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, l) in self.levels.iter().enumerate() {
+                if l.logged_bytes == 0 && l.invalid_logged == 0 {
+                    continue;
+                }
+                let inlineable = if i >= last_idx {
+                    // In-place partial rewrite of the deepest level: no
+                    // threshold interaction.
+                    l.logged_bytes
+                } else {
+                    let dst = &self.levels[i + 1];
+                    let room = ((self.cfg.theta * dst.threshold as f64) as u64)
+                        .saturating_sub(l.phys_bytes + dst.phys_bytes);
+                    room.min(l.logged_bytes + dst.logged_bytes)
+                };
+                // A level whose live values cannot be absorbed reclaims
+                // nothing, however many dead bytes it left in the log.
+                if inlineable == 0 {
+                    continue;
+                }
+                let score = inlineable + l.invalid_logged;
+                if best.map_or(true, |(s, _)| score > s) {
+                    best = Some((score, i));
+                }
+            }
+            best.map(|(_, i)| i)
+        } else {
+            None
+        };
+        let fallback = self
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.logged_bytes > 0)
+            .max_by_key(|(_, l)| l.logged_bytes)
+            .map(|(i, _)| i);
+        // When no θ-capped merge can absorb anything, AnyKey+ falls back to
+        // rewriting the most-logged level's affected groups in place — a
+        // log-relieving move with no threshold interaction.
+        let target = pick.or(fallback);
+        let Some(src) = target else {
+            // The log is full but no level references it — nothing can be
+            // reclaimed.
+            return Err(KvError::DeviceFull);
+        };
+        // Merging the deepest level "down" would deepen the tree with a
+        // whole-dataset rewrite; instead, rewrite in place only the groups
+        // of that level that still reference the log — same reclaim, a
+        // fraction of the work.
+        let last = last_idx.max(src.min(last_idx));
+        let t = if src >= last {
+            if self.is_plus() {
+                // AnyKey+ rewrites only the groups that reference the log.
+                self.inline_rewrite_level(src, at)?
+            } else {
+                // Base AnyKey rewrites the whole level — the expensive
+                // behaviour that motivates the Section 4.7 enhancement.
+                self.compact(Source::Level(src), src, InlinePolicy::InlineAll, at)?
+            }
+        } else {
+            // θ-capped inlining only applies when merging *into* a deeper
+            // level (the compaction-chain case); escalated rounds inline
+            // everything.
+            let policy = if self.is_plus() && !escalate {
+                let budget =
+                    (self.cfg.theta * self.levels[src + 1].threshold as f64) as u64;
+                InlinePolicy::InlineUntil(budget)
+            } else {
+                InlinePolicy::InlineAll
+            };
+            self.compact(Source::Level(src), src + 1, policy, at)?
+        };
+        let (freed, t) = self
+            .log
+            .as_mut()
+            .expect("log-triggered compaction requires a log")
+            .reclaim(&mut self.flash, t);
+        if std::env::var("ANYKEY_DEBUG").is_ok() {
+            eprintln!(
+                "log-triggered: src={src} last={last} escalate={escalate} freed={}KB log_free={}KB levels={}",
+                freed >> 10,
+                self.log.as_ref().map(|l| l.free_bytes() >> 10).unwrap_or(0),
+                self.levels.len()
+            );
+        }
+        // Base AnyKey: the inlined values may push the destination over its
+        // threshold, immediately triggering a tree compaction — the
+        // "compaction chain" of Figure 9a. AnyKey+'s θ cap makes this a
+        // no-op.
+        self.maintain(t)
+    }
+
+    /// Rewrites, in place, every group of level `li` that references the
+    /// value log, inlining those values. Used when the log-triggered
+    /// target is the deepest level: untouched groups (the vast majority in
+    /// steady state) are not rewritten.
+    pub(crate) fn inline_rewrite_level(&mut self, li: usize, at: Ns) -> Result<Ns, KvError> {
+        // Pass 1: collect pages to read.
+        let mut read_ppas: Vec<Ppa> = Vec::new();
+        for g in &self.levels[li].groups {
+            if g.content.logged_bytes > 0 {
+                read_ppas.extend(g.all_ppas());
+                for e in g.content.pages.iter().flatten() {
+                    if let ValueLoc::Logged(ptr) = e.loc {
+                        read_ppas.extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                    }
+                }
+            }
+        }
+        if read_ppas.is_empty() {
+            return Ok(at);
+        }
+        read_ppas.sort_unstable();
+        read_ppas.dedup();
+        let t_read = self.flash.read_many(read_ppas, OpCause::CompactionRead, at);
+
+        // Pass 2: free the touched groups and collect their entities.
+        let old = std::mem::take(&mut self.levels[li].groups);
+        let mut out: Vec<Group> = Vec::with_capacity(old.len());
+        let mut runs: Vec<Vec<Entity>> = Vec::new();
+        let mut t_erase = t_read;
+        let mut count = 0u64;
+        for g in old {
+            if g.content.logged_bytes == 0 {
+                out.push(g);
+                continue;
+            }
+            let mut ents: Vec<Entity> = g.content.iter_key_order().copied().collect();
+            for e in &mut ents {
+                if let ValueLoc::Logged(ptr) = e.loc {
+                    self.log
+                        .as_mut()
+                        .expect("logged value without a log")
+                        .invalidate(ptr, e.value_len as u64);
+                    e.loc = ValueLoc::Inline;
+                }
+            }
+            count += ents.len() as u64;
+            let pages = g.content.total_pages();
+            runs.push(ents);
+            if self.area.release(g.first_ppa.block, pages) {
+                t_erase =
+                    t_erase.max(self.area.erase_empty(&mut self.flash, g.first_ppa.block, t_read));
+            }
+        }
+
+        // Pass 3: rebuild and place.
+        let mut write_ppas: Vec<Ppa> = Vec::new();
+        for ents in runs {
+            for c in pack_groups(
+                ents,
+                self.page_payload,
+                self.cfg.group_pages.max(2),
+            ) {
+                let ppa = self.area.place(c.total_pages())?;
+                write_ppas.extend((0..c.total_pages()).map(|i| ppa.offset(i)));
+                out.push(Group::new(c, ppa));
+            }
+        }
+        // No seal: partial rewrites happen every log cycle, and sealing
+        // here would strand block tails faster than GC reclaims them.
+        let t_write = self
+            .flash
+            .program_many(write_ppas, OpCause::CompactionWrite, t_read);
+        out.sort_by(|a, b| a.content.smallest().cmp(&b.content.smallest()));
+        self.levels[li].groups = out;
+        self.levels[li].recount();
+        self.levels[li].invalid_logged = 0;
+        self.rebalance_dram();
+        let done = t_write.max(t_erase) + count * self.cfg.cpu.sort_ns_per_entity;
+        let done = done.max(self.gc_if_needed(done)?);
+        Ok(done)
+    }
+
+    /// Merges `src` into level `dst`, rebuilding `dst`'s data segment
+    /// groups.
+    pub(crate) fn compact(
+        &mut self,
+        src: Source,
+        dst: usize,
+        policy: InlinePolicy,
+        at: Ns,
+    ) -> Result<Ns, KvError> {
+        // Source blocks are freed before the output is written, so the
+        // transient headroom need is modest: room for inlined values plus
+        // packing slack.
+        let growth_blocks = match &src {
+            Source::Flush(ents) => {
+                let bytes: u64 = ents.iter().map(Entity::stored_bytes).sum();
+                (bytes / self.flash.geometry().block_bytes()) as usize + 2
+            }
+            Source::Level(si) => {
+                (self.levels[*si].logged_bytes / self.flash.geometry().block_bytes()) as usize
+                    + 2
+            }
+        };
+        let at = self.gc_for_headroom(at, growth_blocks)?.max(at);
+
+        // --- 1. Gather inputs and their flash pages. -------------------
+        let mut read_ppas: Vec<Ppa> = Vec::new();
+        let (upper, src_groups, src_idx, src_inv) = match src {
+            Source::Flush(ents) => (ents, None, None, 0),
+            Source::Level(si) => {
+                let groups = std::mem::take(&mut self.levels[si].groups);
+                for g in &groups {
+                    read_ppas.extend(g.all_ppas());
+                }
+                let ents: Vec<Entity> = groups
+                    .iter()
+                    .flat_map(|g| g.content.iter_key_order().copied())
+                    .collect();
+                let inv = std::mem::take(&mut self.levels[si].invalid_logged);
+                (ents, Some(groups), Some(si), inv)
+            }
+        };
+        // For an in-place rewrite of the deepest level, the "lower" input
+        // is empty (its groups were already taken as the upper input).
+        let dst_groups = if src_idx == Some(dst) {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.levels[dst].groups)
+        };
+        for g in &dst_groups {
+            read_ppas.extend(g.all_ppas());
+        }
+        let lower: Vec<Entity> = dst_groups
+            .iter()
+            .flat_map(|g| g.content.iter_key_order().copied())
+            .collect();
+        let dst_inv = std::mem::take(&mut self.levels[dst].invalid_logged);
+        let t_read = self.flash.read_many(read_ppas, OpCause::CompactionRead, at);
+
+        // --- 2. Merge, newest-wins, tombstone elimination at the bottom. -
+        let is_bottom = self.levels[dst + 1..].iter().all(Level::is_empty);
+        let mut discarded_logged = 0u64;
+        let invalidate = |store_log: &mut Option<crate::anykey::valuelog::ValueLog>,
+                              e: &Entity,
+                              discarded: &mut u64| {
+            if let ValueLoc::Logged(ptr) = e.loc {
+                if let Some(log) = store_log.as_mut() {
+                    log.invalidate(ptr, e.value_len as u64);
+                }
+                *discarded += e.value_len as u64;
+            }
+        };
+        let mut merged: Vec<Entity> = Vec::with_capacity(upper.len() + lower.len());
+        {
+            let mut ui = upper.into_iter().peekable();
+            let mut li = lower.into_iter().peekable();
+            loop {
+                let take_upper = match (ui.peek(), li.peek()) {
+                    (Some(u), Some(l)) => {
+                        if u.key == l.key {
+                            // Newest wins; the lower copy dies here.
+                            let dead = li.next().expect("peeked");
+                            invalidate(&mut self.log, &dead, &mut discarded_logged);
+                            true
+                        } else {
+                            u.key < l.key
+                        }
+                    }
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let e = if take_upper {
+                    ui.next().expect("peeked")
+                } else {
+                    li.next().expect("peeked")
+                };
+                if e.tombstone && is_bottom {
+                    continue; // nothing below to shadow
+                }
+                merged.push(e);
+            }
+        }
+
+        // --- 3. Apply the inline policy. -------------------------------
+        let mut log_read_ppas: Vec<Ppa> = Vec::new();
+        let mut t_wb = t_read;
+        match policy {
+            InlinePolicy::Keep => {}
+            InlinePolicy::InlineAll => {
+                for e in &mut merged {
+                    if let ValueLoc::Logged(ptr) = e.loc {
+                        log_read_ppas
+                            .extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                        self.log
+                            .as_mut()
+                            .expect("logged value without a log")
+                            .invalidate(ptr, e.value_len as u64);
+                        e.loc = ValueLoc::Inline;
+                    }
+                }
+            }
+            InlinePolicy::InlineUntil(budget) => {
+                // Estimate the destination's physical size as we walk the
+                // merged run in key order; stop inlining at θ × threshold.
+                let mut phys = 0u64;
+                for e in &mut merged {
+                    if let ValueLoc::Logged(ptr) = e.loc {
+                        if phys < budget {
+                            log_read_ppas
+                                .extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                            self.log
+                                .as_mut()
+                                .expect("logged value without a log")
+                                .invalidate(ptr, e.value_len as u64);
+                            e.loc = ValueLoc::Inline;
+                        } else {
+                            // Write the value back to the log head so the
+                            // old block can still be reclaimed; keep the
+                            // old pointer if the log has no room.
+                            let log = self.log.as_mut().expect("logged value without a log");
+                            if let Ok((new_ptr, done)) =
+                                log.append(&mut self.flash, e.value_len, t_read)
+                            {
+                                log_read_ppas
+                                    .extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                                log.invalidate(ptr, e.value_len as u64);
+                                e.loc = ValueLoc::Logged(new_ptr);
+                                t_wb = t_wb.max(done);
+                            }
+                        }
+                    }
+                    phys += e.stored_bytes() + 4; // + directory entry
+                }
+            }
+        }
+        log_read_ppas.sort_unstable();
+        log_read_ppas.dedup();
+        // Value reads on behalf of a compaction are compaction traffic
+        // (Table 3 semantics) and run at background priority.
+        let t_log = self
+            .flash
+            .read_many(log_read_ppas, OpCause::CompactionRead, t_read);
+        let t_inputs = t_read.max(t_log).max(t_wb);
+
+        // --- 4. Free the source blocks before writing output. ----------
+        let mut t_erase = t_inputs;
+        let free_groups = |store: &mut AnyKeyStore, groups: Vec<Group>, t: Ns| -> Ns {
+            let mut done = t;
+            for g in groups {
+                let pages = g.content.total_pages();
+                if store.area.release(g.first_ppa.block, pages) {
+                    done = done.max(store.area.erase_empty(&mut store.flash, g.first_ppa.block, t));
+                }
+            }
+            done
+        };
+        if let Some(groups) = src_groups {
+            t_erase = t_erase.max(free_groups(self, groups, t_inputs));
+        }
+        t_erase = t_erase.max(free_groups(self, dst_groups, t_inputs));
+
+        // --- 5. Build and place the new groups. ------------------------
+        let merged_count = merged.len() as u64;
+        let contents = pack_groups(
+            merged,
+            self.page_payload,
+            self.cfg.group_pages.max(2),
+        );
+        let mut write_ppas: Vec<Ppa> = Vec::new();
+        let mut new_groups = Vec::with_capacity(contents.len());
+        for c in contents {
+            let ppa = self.area.place(c.total_pages())?;
+            write_ppas.extend((0..c.total_pages()).map(|i| ppa.offset(i)));
+            new_groups.push(Group::new(c, ppa));
+        }
+        self.area.seal(); // keep blocks single-level (Section 4.4.4)
+        let t_write = self
+            .flash
+            .program_many(write_ppas, OpCause::CompactionWrite, t_inputs);
+
+        // --- 6. Update the level and its accounting. -------------------
+        self.levels[dst].groups = new_groups;
+        self.levels[dst].recount();
+        let remaining_logged = self.levels[dst].logged_bytes;
+        self.levels[dst].invalid_logged = (src_inv + dst_inv)
+            .saturating_sub(discarded_logged)
+            .min(remaining_logged);
+        if let Some(si) = src_idx {
+            self.levels[si].recount();
+        }
+        self.rebalance_dram();
+
+        // --- 7. CPU merge-sort cost and GC headroom. --------------------
+        let done = t_write.max(t_erase) + merged_count * self.cfg.cpu.sort_ns_per_entity;
+        let done = done.max(self.gc_if_needed(done)?);
+        Ok(done)
+    }
+}

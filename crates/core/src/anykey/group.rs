@@ -1,0 +1,498 @@
+//! Data segment groups (paper Section 4.1).
+//!
+//! A group is a set of physically-consecutive flash pages inside one erase
+//! block. Across groups, a level is partitioned by key range; *within* a
+//! group, KV entities are sorted by the 32-bit xxHash of their key. The
+//! first page(s) of a group hold a key-sorted `{page, offset}` directory so
+//! range queries can walk keys in order without re-sorting (Section 4.4.5).
+//!
+//! The level-list entry for a group (what lives in DRAM) is: the group's
+//! smallest key, the PPA of its first page, a 16-bit hash prefix of the
+//! first key of every data page, and 2 hash-collision bits per page
+//! (Figure 7).
+
+use anykey_flash::Ppa;
+
+use crate::anykey::entity::Entity;
+use crate::key::Key;
+
+/// Bytes per directory entry in the group's first page(s): target page +
+/// page offset.
+pub const DIR_ENTRY_BYTES: u64 = 4;
+
+/// The two hash-collision bits of a data page (Figure 7): whether the last
+/// hash value of this page continues into the next page, and whether the
+/// first hash continues from the previous page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollisionBits {
+    /// `01`: the page's last hash value continues into the next page.
+    pub continues_next: bool,
+    /// `10`: the page's first hash value continues from the previous page.
+    pub continued_prev: bool,
+}
+
+/// The content of a data segment group, before (or after) placement in
+/// flash.
+#[derive(Debug, Clone)]
+pub struct GroupContent {
+    /// Data pages; concatenated they are sorted by `(hash, key)`.
+    pub pages: Vec<Vec<Entity>>,
+    /// Key-sorted directory: `(data_page, slot)` per entity.
+    pub dir: Vec<(u16, u16)>,
+    /// Number of leading pages holding the directory.
+    pub dir_pages: u32,
+    /// 16-bit hash prefix of each data page's first entity (the DRAM
+    /// routing metadata).
+    pub page_first_hash16: Vec<u16>,
+    /// Full first hash per data page (page *content*, read from flash; a
+    /// spill-only page carries its owner's hash).
+    pub page_first_hash: Vec<u32>,
+    /// Collision bits per data page.
+    pub collision: Vec<CollisionBits>,
+    /// Sorted hashes of every entity (the hash-list content).
+    pub hashes: Vec<u32>,
+    /// Logical KV bytes (keys + values) in this group.
+    pub kv_bytes: u64,
+    /// Value bytes referenced in the value log.
+    pub logged_bytes: u64,
+    /// Physical flash footprint (directory + data pages × page payload) —
+    /// what level thresholds and AnyKey+'s θ monitor are measured against.
+    pub phys_bytes: u64,
+}
+
+/// A placed data segment group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Physical address of the group's first page.
+    pub first_ppa: Ppa,
+    /// Whether this group's hash list is DRAM-resident.
+    pub hash_list_resident: bool,
+    /// The group's content.
+    pub content: GroupContent,
+}
+
+impl GroupContent {
+    /// Builds a group from a **key-sorted** run of entities.
+    ///
+    /// Entities are re-sorted by `(hash, key)` and packed into data pages of
+    /// `payload` usable bytes each; the key-sorted directory is laid out in
+    /// leading directory pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entities` is empty or not key-sorted.
+    pub fn build(entities: Vec<Entity>, payload: u64) -> Self {
+        assert!(!entities.is_empty(), "group must contain entities");
+        debug_assert!(
+            entities.windows(2).all(|w| w[0].key < w[1].key),
+            "group input must be strictly key-sorted"
+        );
+        let count = entities.len();
+        let kv_bytes = entities.iter().map(Entity::kv_bytes).sum();
+        let logged_bytes = entities.iter().map(Entity::logged_bytes).sum();
+
+        // Hash-sort (stable on key for equal hashes so collision runs are
+        // contiguous and deterministic).
+        let mut by_hash = entities;
+        by_hash.sort_by(|a, b| a.hash.cmp(&b.hash).then(a.key.cmp(&b.key)));
+
+        // Pack byte-continuously: an entity belongs to the page its header
+        // starts in and may spill into following pages (span_extra), so no
+        // page capacity is wasted even for values comparable to the page
+        // size. Pages that contain only the spill of a previous entity
+        // hold no starting slots.
+        let mut pages: Vec<Vec<Entity>> = Vec::new();
+        let mut cur: Vec<Entity> = Vec::new();
+        let mut offset = 0u64;
+        for mut e in by_hash {
+            let sz = e.stored_bytes();
+            let start_page = offset / payload;
+            let end_page = (offset + sz - 1) / payload;
+            e.span_extra = (end_page - start_page) as u8;
+            while (pages.len() as u64) < start_page {
+                pages.push(std::mem::take(&mut cur));
+            }
+            cur.push(e);
+            offset += sz;
+        }
+        pages.push(cur);
+        while (pages.len() as u64) < offset.div_ceil(payload) {
+            pages.push(Vec::new());
+        }
+
+        // Per-page first/last hashes (spill-only pages physically contain
+        // the previous entity's continuation, so they carry its hash) and
+        // the 16-bit routing prefixes plus collision bits (Figure 7).
+        let mut page_first_hash: Vec<u32> = Vec::with_capacity(pages.len());
+        let mut page_last_hash: Vec<u32> = Vec::with_capacity(pages.len());
+        let mut carry = pages[0].first().map(|e| e.hash).unwrap_or(0);
+        for p in &pages {
+            page_first_hash.push(p.first().map(|e| e.hash).unwrap_or(carry));
+            carry = p.last().map(|e| e.hash).unwrap_or(carry);
+            page_last_hash.push(carry);
+        }
+        let page_first_hash16: Vec<u16> =
+            page_first_hash.iter().map(|&h| (h >> 16) as u16).collect();
+        let mut collision = vec![CollisionBits::default(); pages.len()];
+        for i in 0..pages.len().saturating_sub(1) {
+            if page_last_hash[i] == page_first_hash[i + 1] {
+                collision[i].continues_next = true;
+                collision[i + 1].continued_prev = true;
+            }
+        }
+
+        // Key-sorted directory over (page, slot).
+        let mut dir: Vec<(u16, u16)> = pages
+            .iter()
+            .enumerate()
+            .flat_map(|(p, page)| (0..page.len()).map(move |s| (p as u16, s as u16)))
+            .collect();
+        dir.sort_by(|&(pa, sa), &(pb, sb)| {
+            pages[pa as usize][sa as usize]
+                .key
+                .cmp(&pages[pb as usize][sb as usize].key)
+        });
+
+        // Sorted hash list.
+        let mut hashes: Vec<u32> = pages.iter().flatten().map(|e| e.hash).collect();
+        hashes.sort_unstable();
+
+        let dir_pages = ((count as u64 * DIR_ENTRY_BYTES).div_ceil(payload)).max(1) as u32;
+        let phys_bytes = (dir_pages as u64 + pages.len() as u64) * payload;
+
+        Self {
+            pages,
+            dir,
+            dir_pages,
+            page_first_hash16,
+            page_first_hash,
+            collision,
+            hashes,
+            kv_bytes,
+            logged_bytes,
+            phys_bytes,
+        }
+    }
+
+    /// Number of entities in the group.
+    pub fn entity_count(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Number of data pages.
+    pub fn data_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Total flash pages occupied (directory + data).
+    pub fn total_pages(&self) -> u32 {
+        self.dir_pages + self.data_pages()
+    }
+
+    /// The entity at a directory position.
+    pub fn entity(&self, page: u16, slot: u16) -> &Entity {
+        &self.pages[page as usize][slot as usize]
+    }
+
+    /// The group's smallest key (what the level-list entry stores).
+    pub fn smallest(&self) -> Key {
+        let (p, s) = self.dir[0];
+        self.entity(p, s).key
+    }
+
+    /// The group's largest key.
+    pub fn largest(&self) -> Key {
+        let (p, s) = *self.dir.last().expect("group is non-empty");
+        self.entity(p, s).key
+    }
+
+    /// Whether `hash` appears in the group's hash list.
+    pub fn contains_hash(&self, hash: u32) -> bool {
+        self.hashes.binary_search(&hash).is_ok()
+    }
+
+    /// The data page a lookup for `hash` is routed to via the 16-bit
+    /// page-first hash prefixes: the last page whose prefix is ≤ the
+    /// target's prefix.
+    pub fn route_page(&self, hash: u32) -> usize {
+        let h16 = (hash >> 16) as u16;
+        let idx = self.page_first_hash16.partition_point(|&p| p <= h16);
+        idx.saturating_sub(1)
+    }
+
+    /// Searches one data page for an exact `(hash, key)` match.
+    pub fn search_page(&self, page: usize, hash: u32, key: Key) -> Option<&Entity> {
+        let entries = &self.pages[page];
+        let start = entries.partition_point(|e| e.hash < hash);
+        entries[start..]
+            .iter()
+            .take_while(|e| e.hash == hash)
+            .find(|e| e.key == key)
+    }
+
+    /// First directory index whose key is ≥ `key` (for range scans).
+    pub fn dir_lower_bound(&self, key: Key) -> usize {
+        self.dir
+            .partition_point(|&(p, s)| self.entity(p, s).key < key)
+    }
+
+    /// Iterates entities in key order.
+    pub fn iter_key_order(&self) -> impl Iterator<Item = &Entity> + '_ {
+        self.dir.iter().map(move |&(p, s)| self.entity(p, s))
+    }
+
+    /// The DRAM footprint of this group's level-list entry: smallest key +
+    /// 4-byte PPA + 2 bytes of hash prefix per data page + 2 collision bits
+    /// per data page + fixed bookkeeping.
+    pub fn meta_bytes(&self) -> u64 {
+        self.smallest().len() as u64
+            + 4
+            + 2 * self.data_pages() as u64
+            + (self.data_pages() as u64).div_ceil(4)
+            + 16
+    }
+
+    /// The DRAM footprint of this group's hash list (4 bytes per entity).
+    pub fn hash_list_bytes(&self) -> u64 {
+        4 * self.entity_count() as u64
+    }
+}
+
+impl Group {
+    /// Places content at a physical address.
+    pub fn new(content: GroupContent, first_ppa: Ppa) -> Self {
+        Self {
+            first_ppa,
+            hash_list_resident: false,
+            content,
+        }
+    }
+
+    /// PPA of the `i`-th **data** page.
+    pub fn data_ppa(&self, i: usize) -> Ppa {
+        self.first_ppa.offset(self.content.dir_pages + i as u32)
+    }
+
+    /// PPA of the directory page covering directory index `idx`.
+    pub fn dir_ppa(&self, idx: usize, payload: u64) -> Ppa {
+        let per_page = (payload / DIR_ENTRY_BYTES) as usize;
+        let page = (idx / per_page.max(1)) as u32;
+        self.first_ppa.offset(page.min(self.content.dir_pages - 1))
+    }
+
+    /// All PPAs of the group (directory + data pages) — what compaction and
+    /// GC read.
+    pub fn all_ppas(&self) -> impl Iterator<Item = Ppa> + '_ {
+        (0..self.content.total_pages()).map(move |i| self.first_ppa.offset(i))
+    }
+}
+
+/// Splits a key-sorted entity run into group contents, each targeting at
+/// most `max_total_pages` flash pages (directory pages included) of
+/// `payload` usable bytes, so groups tile erase blocks without structural
+/// waste.
+pub fn pack_groups(
+    entities: Vec<Entity>,
+    payload: u64,
+    max_total_pages: u32,
+) -> Vec<GroupContent> {
+    let mut out = Vec::new();
+    let mut chunk: Vec<Entity> = Vec::new();
+    let mut bytes = 0u64;
+    for e in entities {
+        let sz = e.stored_bytes();
+        // Projected footprint if `e` joins the chunk: byte-continuous data
+        // pages plus the key-sorted directory pages.
+        let data_pages = (bytes + sz).div_ceil(payload);
+        let dir_pages = ((chunk.len() as u64 + 1) * DIR_ENTRY_BYTES)
+            .div_ceil(payload)
+            .max(1);
+        if !chunk.is_empty() && data_pages + dir_pages > max_total_pages as u64 {
+            out.push(GroupContent::build(std::mem::take(&mut chunk), payload));
+            bytes = 0;
+        }
+        bytes += e.stored_bytes();
+        chunk.push(e);
+    }
+    if !chunk.is_empty() {
+        out.push(GroupContent::build(chunk, payload));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anykey::entity::ValueLoc;
+
+    fn entities(n: u64, key_len: u16, value_len: u32) -> Vec<Entity> {
+        (0..n)
+            .map(|id| {
+                let key = Key::new(id, key_len).unwrap();
+                Entity {
+                    key,
+                    hash: key.hash32(),
+                    value_len,
+                    loc: ValueLoc::Inline,
+                    tombstone: false,
+                    span_extra: 0,
+                }
+            })
+            .collect()
+    }
+
+    const PAYLOAD: u64 = 8128;
+
+    #[test]
+    fn build_preserves_every_entity() {
+        let ents = entities(500, 48, 43);
+        let g = GroupContent::build(ents.clone(), PAYLOAD);
+        assert_eq!(g.entity_count(), 500);
+        let keys: Vec<u64> = g.iter_key_order().map(|e| e.key.id()).collect();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pages_are_hash_sorted_across_boundaries() {
+        let g = GroupContent::build(entities(2000, 48, 43), PAYLOAD);
+        let mut prev = 0u32;
+        for page in &g.pages {
+            for e in page {
+                assert!(e.hash >= prev);
+                prev = e.hash;
+            }
+        }
+    }
+
+    #[test]
+    fn packing_is_byte_continuous() {
+        let g = GroupContent::build(entities(2000, 48, 43), PAYLOAD);
+        let total: u64 = g.pages.iter().flatten().map(Entity::stored_bytes).sum();
+        assert_eq!(g.data_pages() as u64, total.div_ceil(PAYLOAD));
+        // Small entities never span more than one boundary.
+        assert!(g.pages.iter().flatten().all(|e| e.span_extra <= 1));
+    }
+
+    #[test]
+    fn huge_inline_values_span_pages() {
+        // Values comparable to the page size must not halve capacity.
+        let g = GroupContent::build(entities(100, 16, 4096), PAYLOAD);
+        let total: u64 = g.pages.iter().flatten().map(Entity::stored_bytes).sum();
+        assert_eq!(g.data_pages() as u64, total.div_ceil(PAYLOAD));
+        let spanning = g
+            .pages
+            .iter()
+            .flatten()
+            .filter(|e| e.span_extra > 0)
+            .count();
+        assert!(spanning > 0, "4KB values in 8KB pages must span sometimes");
+        // Routing still finds every entity via the backward walk.
+        for e in g.pages.iter().flatten() {
+            let mut p = g.route_page(e.hash);
+            loop {
+                if g.search_page(p, e.hash, e.key).is_some() {
+                    break;
+                }
+                assert!(p > 0, "entity {:?} unreachable", e.key);
+                p -= 1;
+            }
+        }
+    }
+
+    #[test]
+    fn routing_finds_every_entity_with_local_search() {
+        let g = GroupContent::build(entities(3000, 48, 43), PAYLOAD);
+        for e in g.pages.iter().flatten() {
+            let mut p = g.route_page(e.hash);
+            // Device-style backward walk on prefix ambiguity.
+            loop {
+                if g.search_page(p, e.hash, e.key).is_some() {
+                    break;
+                }
+                assert!(p > 0, "entity {:?} unreachable by routing", e.key);
+                let first = g.pages[p][0].hash;
+                assert!(
+                    e.hash < first || (e.hash == first && g.collision[p].continued_prev),
+                    "backward walk not justified for {:?}",
+                    e.key
+                );
+                p -= 1;
+            }
+        }
+    }
+
+    #[test]
+    fn collision_bits_mark_hash_runs_spanning_pages() {
+        // Force duplicate hashes by constructing entities manually.
+        let mut ents = entities(100, 48, 43);
+        // Give a run of 60 entities the same hash: they will span a page.
+        for e in ents.iter_mut().take(60) {
+            e.hash = 0x7777_7777;
+            e.value_len = 400; // bigger so the run spans pages
+        }
+        let g = GroupContent::build(ents, 2048);
+        let spans: usize = g
+            .collision
+            .iter()
+            .filter(|c| c.continues_next || c.continued_prev)
+            .count();
+        assert!(spans >= 2, "expected a cross-page hash run");
+    }
+
+    #[test]
+    fn hash_list_membership_is_exact() {
+        let ents = entities(1000, 48, 43);
+        let g = GroupContent::build(ents.clone(), PAYLOAD);
+        for e in &ents {
+            assert!(g.contains_hash(e.hash));
+        }
+        // A hash not in the set (probability of accidental collision with
+        // 1000 entries is negligible; pick until absent).
+        let absent = (0..100u32)
+            .map(|i| 0xDEAD_0000 ^ i)
+            .find(|h| g.hashes.binary_search(h).is_err())
+            .unwrap();
+        assert!(!g.contains_hash(absent));
+    }
+
+    #[test]
+    fn dir_pages_scale_with_entity_count() {
+        let few = GroupContent::build(entities(100, 24, 10), PAYLOAD);
+        assert_eq!(few.dir_pages, 1);
+        let many = GroupContent::build(entities(5000, 24, 10), PAYLOAD);
+        assert!(many.dir_pages >= 2, "5000 * 4B of directory needs 3 pages");
+    }
+
+    #[test]
+    fn pack_groups_covers_all_entities_in_order() {
+        let ents = entities(20_000, 48, 43);
+        let groups = pack_groups(ents, PAYLOAD, 32);
+        let total: usize = groups.iter().map(|g| g.entity_count()).sum();
+        assert_eq!(total, 20_000);
+        // Groups are key-range partitioned and ordered.
+        for w in groups.windows(2) {
+            assert!(w[0].largest() < w[1].smallest());
+        }
+        // Data page targets are respected (±1 for hash-order repack).
+        for g in &groups {
+            assert!(g.total_pages() <= 32, "group has {} pages", g.total_pages());
+        }
+    }
+
+    #[test]
+    fn meta_bytes_are_group_granular() {
+        let g = GroupContent::build(entities(1000, 48, 43), PAYLOAD);
+        // ~48 + 4 + 2/page + collision bits + fixed: a few hundred bytes
+        // for a 1000-entity group — the entire point of AnyKey (vs ~52 KB
+        // for PinK's per-pair metadata on the same 1000 pairs).
+        assert!(g.meta_bytes() < 200);
+        assert_eq!(g.hash_list_bytes(), 4000);
+    }
+
+    #[test]
+    fn smallest_and_largest_bound_the_group() {
+        let g = GroupContent::build(entities(100, 48, 43), PAYLOAD);
+        assert_eq!(g.smallest().id(), 0);
+        assert_eq!(g.largest().id(), 99);
+    }
+}

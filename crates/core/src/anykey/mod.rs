@@ -1,0 +1,590 @@
+//! The AnyKey engine (paper Sections 4.1–4.7).
+
+pub mod compaction;
+pub mod entity;
+pub mod gc;
+pub mod group;
+pub mod level;
+pub mod valuelog;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+
+use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_workload::Op;
+
+use crate::buffer::{BufEntry, WriteBuffer};
+use crate::config::{DeviceConfig, EngineKind};
+use crate::dram::DramBudget;
+use crate::engine::{KvEngine, MetadataStats, OpOutcome};
+use crate::error::KvError;
+use crate::key::Key;
+
+use entity::ValueLoc;
+use gc::GroupArea;
+use level::Level;
+use valuelog::ValueLog;
+
+/// The AnyKey key-value SSD (also AnyKey+ and AnyKey− via
+/// [`EngineKind`]).
+///
+/// See the [crate docs](crate) and `DESIGN.md` for the architecture; in
+/// short: DRAM holds the write buffer, group-granular level lists, and
+/// best-effort hash lists; flash holds data segment groups (keys +
+/// inline values or log pointers) and the value log.
+#[derive(Debug)]
+pub struct AnyKeyStore {
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) flash: FlashSim,
+    pub(crate) buffer: WriteBuffer,
+    pub(crate) levels: Vec<Level>,
+    pub(crate) area: GroupArea,
+    pub(crate) log: Option<ValueLog>,
+    pub(crate) dram: DramBudget,
+    pub(crate) page_payload: u64,
+    /// Live logical state: key id → value length (for unique-byte
+    /// accounting; the engine's query path never consults this).
+    live: HashMap<u64, u32>,
+    live_bytes: u64,
+    level_list_overflow: bool,
+    /// Completion time of the in-flight flush (L0 is double-buffered: a
+    /// put that fills the buffer stalls only if the previous flush is
+    /// still running).
+    flush_done: Ns,
+}
+
+impl AnyKeyStore {
+    /// Builds an AnyKey device from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration selects the PinK engine.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        assert_ne!(cfg.engine, EngineKind::Pink, "use PinkStore for PinK");
+        let flash = FlashSim::new(cfg.flash);
+        let geometry = cfg.flash.geometry;
+        let total_blocks = geometry.blocks();
+        let log_blocks = (cfg.value_log_bytes.div_ceil(geometry.block_bytes())) as u32;
+        assert!(
+            log_blocks < total_blocks,
+            "value log ({log_blocks} blocks) must leave room for groups ({total_blocks} total)"
+        );
+        let group_range = 0..(total_blocks - log_blocks);
+        let page_payload = cfg.page_payload() as u64;
+        let log = (log_blocks > 0).then(|| {
+            ValueLog::new(
+                BlockAllocator::new(total_blocks - log_blocks..total_blocks),
+                page_payload,
+                geometry.pages_per_block,
+            )
+        });
+        let dram = DramBudget::new(cfg.dram_bytes, cfg.write_buffer_bytes.min(cfg.dram_bytes / 2));
+        Self {
+            buffer: WriteBuffer::new(cfg.write_buffer_bytes),
+            levels: vec![Level::new(cfg.write_buffer_bytes * cfg.level_ratio)],
+            area: GroupArea::new(BlockAllocator::new(group_range), geometry.pages_per_block),
+            log,
+            dram,
+            page_payload,
+            live: HashMap::new(),
+            live_bytes: 0,
+            level_list_overflow: false,
+            flush_done: 0,
+            flash,
+            cfg,
+        }
+    }
+
+    /// Whether this instance runs the AnyKey+ compaction enhancement.
+    pub(crate) fn is_plus(&self) -> bool {
+        self.cfg.engine == EngineKind::AnyKeyPlus
+    }
+
+    fn make_key(&self, id: u64) -> Result<Key, KvError> {
+        Key::new(id, self.cfg.key_len)
+    }
+
+    /// Metadata-only probe: which level currently holds `key`, and how many
+    /// of its value bytes sit in the value log. Used for the per-level
+    /// invalid-log accounting that AnyKey+'s target selection needs
+    /// (Section 4.7); costs no simulated flash I/O, standing in for the
+    /// small per-level counters a real controller would maintain.
+    fn probe_logged(&self, key: Key, hash: u32) -> Option<(usize, u64)> {
+        for (li, level) in self.levels.iter().enumerate() {
+            let Some(gi) = level.candidate(key) else {
+                continue;
+            };
+            let g = &level.groups[gi].content;
+            if !g.contains_hash(hash) {
+                continue;
+            }
+            let idx = g.dir_lower_bound(key);
+            if idx < g.dir.len() {
+                let (p, s) = g.dir[idx];
+                let e = g.entity(p, s);
+                if e.key == key {
+                    if e.tombstone {
+                        return None;
+                    }
+                    return Some((li, e.logged_bytes()));
+                }
+            }
+        }
+        None
+    }
+
+    fn do_put(&mut self, id: u64, value_len: u32, tombstone: bool, at: Ns) -> Result<OpOutcome, KvError> {
+        let key = self.make_key(id)?;
+        // Invalid-log accounting: the version this put supersedes (if any,
+        // and not still in the buffer) leaves dead value bytes in the log.
+        if self.log.is_some() && self.buffer.get(&key).is_none() {
+            if let Some((li, logged)) = self.probe_logged(key, key.hash32()) {
+                if logged > 0 {
+                    self.levels[li].invalid_logged += logged;
+                }
+            }
+        }
+        self.buffer.insert(
+            key,
+            BufEntry {
+                value_len,
+                tombstone,
+            },
+        );
+        // Live logical state.
+        if tombstone {
+            if let Some(old) = self.live.remove(&id) {
+                self.live_bytes -= key.len() as u64 + old as u64;
+            }
+        } else {
+            match self.live.insert(id, value_len) {
+                Some(old) => {
+                    self.live_bytes = self.live_bytes - old as u64 + value_len as u64;
+                }
+                None => self.live_bytes += key.len() as u64 + value_len as u64,
+            }
+        }
+
+        let mut done = at + self.cfg.cpu.hash_ns + self.cfg.cpu.dram_op_ns;
+        if self.buffer.is_full() {
+            // Double-buffered L0: the triggering put is acknowledged once
+            // the buffer swaps, but it stalls first if the previous flush
+            // is still in flight — the device's write-stall behaviour.
+            let start = at.max(self.flush_done);
+            self.flush_done = self.flush(start)?;
+            done = start + self.cfg.cpu.hash_ns + self.cfg.cpu.dram_op_ns;
+        }
+        Ok(OpOutcome {
+            issued_at: at,
+            done_at: done,
+            found: true,
+            flash_reads: 0,
+        })
+    }
+
+    fn do_get(&mut self, id: u64, at: Ns) -> Result<OpOutcome, KvError> {
+        let key = self.make_key(id)?;
+        let hash = key.hash32();
+        let mut t = at + self.cfg.cpu.hash_ns;
+        let mut reads = 0u32;
+
+        if let Some(e) = self.buffer.get(&key) {
+            return Ok(OpOutcome {
+                issued_at: at,
+                done_at: t + self.cfg.cpu.dram_op_ns,
+                found: !e.tombstone,
+                flash_reads: 0,
+            });
+        }
+
+        for li in 0..self.levels.len() {
+            let Some(gi) = self.levels[li].candidate(key) else {
+                continue;
+            };
+            // Hash-list check (free when resident; Section 4.2).
+            {
+                let g = &self.levels[li].groups[gi];
+                if g.hash_list_resident && !g.content.contains_hash(hash) {
+                    continue;
+                }
+            }
+            // Read the routed page, walking backwards over 16-bit prefix
+            // ambiguity and cross-page hash collisions (Figure 7).
+            let mut p = {
+                let g = &self.levels[li].groups[gi];
+                g.content.route_page(hash)
+            };
+            loop {
+                let ppa = self.levels[li].groups[gi].data_ppa(p);
+                t = self.flash.read(ppa, OpCause::HostRead, t);
+                reads += 1;
+                let (found, span_ppas) = {
+                    let g = &self.levels[li].groups[gi].content;
+                    match g.search_page(p, hash, key) {
+                        Some(e) => {
+                            let mut extra: Vec<Ppa> = Vec::new();
+                            for i in 0..e.span_extra as usize {
+                                extra.push(self.levels[li].groups[gi].data_ppa(p + 1 + i));
+                            }
+                            (Some((e.tombstone, e.loc)), extra)
+                        }
+                        None => (None, Vec::new()),
+                    }
+                };
+                if let Some((tombstone, loc)) = found {
+                    // Inline values may spill into following pages.
+                    reads += span_ppas.len() as u32;
+                    t = self.flash.read_many(span_ppas, OpCause::HostRead, t);
+                    if tombstone {
+                        return Ok(OpOutcome {
+                            issued_at: at,
+                            done_at: t,
+                            found: false,
+                            flash_reads: reads,
+                        });
+                    }
+                    let done = match loc {
+                        ValueLoc::Inline => t,
+                        ValueLoc::Logged(ptr) => {
+                            reads += ptr.pages as u32;
+                            let log = self.log.as_ref().expect("logged value without a log");
+                            log.read_value(&mut self.flash, ptr, OpCause::LogRead, t)
+                        }
+                    };
+                    return Ok(OpOutcome {
+                        issued_at: at,
+                        done_at: done,
+                        found: true,
+                        flash_reads: reads,
+                    });
+                }
+                let g = &self.levels[li].groups[gi].content;
+                let first = g.page_first_hash[p];
+                if p > 0 && (hash < first || (hash == first && g.collision[p].continued_prev)) {
+                    p -= 1;
+                    continue;
+                }
+                break;
+            }
+        }
+        Ok(OpOutcome {
+            issued_at: at,
+            done_at: t + self.cfg.cpu.dram_op_ns,
+            found: false,
+            flash_reads: reads,
+        })
+    }
+
+    fn do_scan(&mut self, start_id: u64, len: u32, at: Ns) -> Result<(Vec<u64>, OpOutcome), KvError> {
+        let start = self.make_key(start_id)?;
+        let want = len as usize;
+
+        // Per-level candidate collection, newest first: (key, level,
+        // tombstone, data ppa, log pages).
+        struct Cand {
+            key: Key,
+            level: usize,
+            tombstone: bool,
+            data_ppa: Ppa,
+            log_pages: Vec<Ppa>,
+        }
+
+        // Tombstones and cross-level duplicates consume candidates, so a
+        // fixed per-level budget can truncate a level before the merge has
+        // enough survivors; retry with a doubled budget until every capped
+        // level's frontier covers the emitted range.
+        let mut budget = want;
+        let (mut dir_ppas, mut cands): (Vec<Ppa>, Vec<Cand>);
+        loop {
+            dir_ppas = Vec::new();
+            cands = Vec::new();
+            let mut frontier: Vec<Option<Key>> = Vec::new(); // last key of capped levels
+            for (li, level) in self.levels.iter().enumerate() {
+                let mut taken = 0usize;
+                let mut gi = level.scan_start(start);
+                while taken < budget && gi < level.groups.len() {
+                    let g = &level.groups[gi];
+                    // The device reads the group's directory page(s) to
+                    // walk keys in order (Section 4.4.5).
+                    let from = g.content.dir_lower_bound(start);
+                    if from < g.content.dir.len() {
+                        dir_ppas.push(g.dir_ppa(from, self.page_payload));
+                    }
+                    for idx in from..g.content.dir.len() {
+                        if taken >= budget {
+                            break;
+                        }
+                        let (p, s) = g.content.dir[idx];
+                        let e = g.content.entity(p, s);
+                        let log_pages = match e.loc {
+                            ValueLoc::Logged(ptr) => ValueLog::ptr_pages(ptr).collect(),
+                            ValueLoc::Inline => Vec::new(),
+                        };
+                        cands.push(Cand {
+                            key: e.key,
+                            level: li,
+                            tombstone: e.tombstone,
+                            data_ppa: g.data_ppa(p as usize),
+                            log_pages,
+                        });
+                        taken += 1;
+                    }
+                    gi += 1;
+                }
+                frontier.push(if taken >= budget {
+                    cands.last().map(|c| c.key)
+                } else {
+                    None
+                });
+            }
+            // The merge may only emit keys below every capped level's
+            // frontier; check how many survivors (newest version not a
+            // tombstone) that range yields and retry with more candidates
+            // if a capped level could hide part of the requested range.
+            let limit = frontier.iter().flatten().min().copied();
+            let reachable = {
+                let mut newest: std::collections::BTreeMap<Key, (usize, bool)> =
+                    std::collections::BTreeMap::new();
+                for c in &cands {
+                    if limit.is_none_or(|l| c.key <= l) {
+                        let e = newest.entry(c.key).or_insert((c.level, c.tombstone));
+                        if c.level < e.0 {
+                            *e = (c.level, c.tombstone);
+                        }
+                    }
+                }
+                for (k, be) in self.buffer.range_from(start) {
+                    if limit.is_none_or(|l| *k <= l) {
+                        newest.insert(*k, (0, be.tombstone));
+                    }
+                }
+                newest.values().filter(|&&(_, t)| !t).count()
+            };
+            if limit.is_none() || reachable >= want || budget >= want * 64 {
+                break;
+            }
+            budget *= 2;
+        }
+        let limit = {
+            // Recompute the final frontier bound for the merge clamp.
+            let mut lims: Vec<Key> = Vec::new();
+            let mut idx = 0usize;
+            for (li, _) in self.levels.iter().enumerate() {
+                let lvl_cands: Vec<&Cand> = cands.iter().filter(|c| c.level == li).collect();
+                if lvl_cands.len() >= budget {
+                    if let Some(c) = lvl_cands.last() {
+                        lims.push(c.key);
+                    }
+                }
+                idx += 1;
+            }
+            let _ = idx;
+            lims.into_iter().min()
+        };
+
+        // Merge: buffer (level usize::MAX priority → treat separately),
+        // then levels (lower index = newer).
+        let mut chosen: Vec<(Key, Option<Cand>)> = Vec::new();
+        {
+            let mut buf_iter = self.buffer.range_from(start).peekable();
+            cands.sort_by(|a, b| a.key.cmp(&b.key).then(a.level.cmp(&b.level)));
+            let i = 0;
+            while chosen.len() < want && (i < cands.len() || buf_iter.peek().is_some()) {
+                let next_level_key = cands.get(i).map(|c| c.key);
+                let next_buf_key = buf_iter.peek().map(|(k, _)| **k);
+                let key = match (next_buf_key, next_level_key) {
+                    (Some(b), Some(l)) => b.min(l),
+                    (Some(b), None) => b,
+                    (None, Some(l)) => l,
+                    (None, None) => break,
+                };
+                if limit.is_some_and(|l| key > l) {
+                    // A capped level's unexplored range could hide smaller
+                    // keys; never emit beyond its frontier.
+                    break;
+                }
+                let mut tombstone = None;
+                if next_buf_key == Some(key) {
+                    let (_, e) = buf_iter.next().expect("peeked");
+                    tombstone = Some(e.tombstone);
+                }
+                // Take the newest level candidate for this key; skip the
+                // rest.
+                let mut newest: Option<Cand> = None;
+                while i < cands.len() && cands[i].key == key {
+                    let c = cands.remove(i);
+                    if newest.is_none() {
+                        newest = Some(c);
+                    }
+                }
+                match tombstone {
+                    Some(true) => {}                            // deleted in buffer
+                    Some(false) => chosen.push((key, None)),    // value in DRAM
+                    None => match newest {
+                        Some(c) if c.tombstone => {}
+                        Some(c) => chosen.push((key, Some(c))),
+                        None => {}
+                    },
+                }
+            }
+        }
+
+        // Flash timing: directory pages first, then data + log pages.
+        let mut t = at + self.cfg.cpu.hash_ns;
+        let mut reads = 0u32;
+        dir_ppas.sort_unstable();
+        dir_ppas.dedup();
+        reads += dir_ppas.len() as u32;
+        t = self.flash.read_many(dir_ppas, OpCause::HostRead, t);
+        let mut data_ppas: Vec<Ppa> = Vec::new();
+        let mut log_ppas: Vec<Ppa> = Vec::new();
+        for (_, cand) in &chosen {
+            if let Some(c) = cand {
+                data_ppas.push(c.data_ppa);
+                log_ppas.extend(c.log_pages.iter().copied());
+            }
+        }
+        data_ppas.sort_unstable();
+        data_ppas.dedup();
+        log_ppas.sort_unstable();
+        log_ppas.dedup();
+        reads += (data_ppas.len() + log_ppas.len()) as u32;
+        let t_data = self.flash.read_many(data_ppas, OpCause::HostRead, t);
+        let t_log = self.flash.read_many(log_ppas, OpCause::LogRead, t);
+        let done = t_data.max(t_log);
+
+        let ids: Vec<u64> = chosen.iter().map(|(k, _)| k.id()).collect();
+        let found = !ids.is_empty();
+        Ok((
+            ids,
+            OpOutcome {
+                issued_at: at,
+                done_at: done,
+                found,
+                flash_reads: reads,
+            },
+        ))
+    }
+
+    /// Recomputes DRAM placement: level lists are mandatory; hash lists are
+    /// granted top level first until the metadata budget runs out
+    /// (Section 4.2).
+    pub(crate) fn rebalance_dram(&mut self) {
+        self.dram.clear_claims();
+        let level_lists: u64 = self.levels.iter().map(Level::meta_bytes).sum();
+        if !self.dram.try_claim(level_lists) {
+            // AnyKey's design keeps level lists DRAM-resident by
+            // construction; record if a configuration ever violates it.
+            self.level_list_overflow = true;
+            self.dram.metadata_used = self.dram.metadata_budget();
+            for level in &mut self.levels {
+                for g in &mut level.groups {
+                    g.hash_list_resident = false;
+                }
+            }
+            return;
+        }
+        self.level_list_overflow = false;
+        let mut exhausted = false;
+        for level in &mut self.levels {
+            for g in &mut level.groups {
+                if exhausted {
+                    g.hash_list_resident = false;
+                } else if self.dram.try_claim(g.content.hash_list_bytes()) {
+                    g.hash_list_resident = true;
+                } else {
+                    g.hash_list_resident = false;
+                    exhausted = true;
+                }
+            }
+        }
+    }
+
+    /// Whether level lists ever failed to fit DRAM (diagnostics; should
+    /// stay `false` — that is AnyKey's design guarantee).
+    pub fn level_list_overflowed(&self) -> bool {
+        self.level_list_overflow
+    }
+
+    /// Direct access to the value log (benchmarks and tests).
+    pub fn value_log(&self) -> Option<&ValueLog> {
+        self.log.as_ref()
+    }
+
+    /// Number of free blocks left in the group area.
+    pub fn free_group_blocks(&self) -> usize {
+        self.area.free_blocks()
+    }
+}
+
+impl KvEngine for AnyKeyStore {
+    fn kind(&self) -> EngineKind {
+        self.cfg.engine
+    }
+
+    fn execute(&mut self, op: &Op, at: Ns) -> Result<OpOutcome, KvError> {
+        match *op {
+            Op::Get { key } => self.do_get(key, at),
+            Op::Put { key, value_len } => self.do_put(key, value_len, false, at),
+            Op::Delete { key } => self.do_put(key, 0, true, at),
+            Op::Scan { start, len } => self.do_scan(start, len, at).map(|(_, o)| o),
+        }
+    }
+
+    fn scan_keys(&mut self, start: u64, len: u32, at: Ns) -> (Vec<u64>, OpOutcome) {
+        self.do_scan(start, len, at)
+            .expect("scan cannot fail for well-formed keys")
+    }
+
+    fn metadata(&self) -> MetadataStats {
+        let level_list_bytes: u64 = self.levels.iter().map(Level::meta_bytes).sum();
+        let hash_list_total: u64 = self
+            .levels
+            .iter()
+            .flat_map(|l| l.groups.iter())
+            .map(|g| g.content.hash_list_bytes())
+            .sum();
+        let hash_list_resident: u64 = self
+            .levels
+            .iter()
+            .flat_map(|l| l.groups.iter())
+            .filter(|g| g.hash_list_resident)
+            .map(|g| g.content.hash_list_bytes())
+            .sum();
+        MetadataStats {
+            level_list_bytes,
+            level_list_flash_bytes: if self.level_list_overflow {
+                level_list_bytes.saturating_sub(self.dram.metadata_budget())
+            } else {
+                0
+            },
+            hash_list_total_bytes: hash_list_total,
+            hash_list_resident_bytes: hash_list_resident,
+            meta_segment_dram_bytes: 0,
+            meta_segment_flash_bytes: 0,
+            dram_capacity: self.dram.capacity,
+            dram_used: self.dram.used(),
+            levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
+            live_unique_bytes: self.live_bytes,
+            value_log_used_bytes: self.log.as_ref().map_or(0, ValueLog::valid_bytes),
+        }
+    }
+
+    fn counters(&self) -> FlashCounters {
+        self.flash.counters().clone()
+    }
+
+    fn reset_counters(&mut self) {
+        self.flash.reset_counters();
+    }
+
+    fn horizon(&self) -> Ns {
+        self.flash.horizon()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cfg.capacity_bytes()
+    }
+}

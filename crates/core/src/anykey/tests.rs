@@ -1,0 +1,131 @@
+//! AnyKey-specific unit tests: DRAM policy, value-log flow, and the
+//! whole-block-invalidation property behind its free GC.
+
+use anykey_flash::OpCause;
+use anykey_workload::Op;
+
+use crate::anykey::AnyKeyStore;
+use crate::config::{DeviceConfig, EngineKind};
+use crate::engine::KvEngine;
+
+fn store(kind: EngineKind) -> AnyKeyStore {
+    AnyKeyStore::new(
+        DeviceConfig::builder()
+            .capacity_bytes(16 << 20)
+            .page_size(8 << 10)
+            .pages_per_block(16)
+            .group_pages(8)
+            .engine(kind)
+            .key_len(48)
+            .build(),
+    )
+}
+
+fn fill(s: &mut AnyKeyStore, n: u64) {
+    for id in 0..n {
+        s.put(id, 48).expect("fill");
+    }
+}
+
+#[test]
+fn hash_lists_cover_top_levels_first() {
+    let mut s = store(EngineKind::AnyKeyPlus);
+    fill(&mut s, 60_000);
+    // Residency must be a prefix in (level, group) order: once one group's
+    // hash list is non-resident, all later ones are too.
+    let flags: Vec<bool> = s
+        .levels
+        .iter()
+        .flat_map(|l| l.groups.iter().map(|g| g.hash_list_resident))
+        .collect();
+    let first_miss = flags.iter().position(|&r| !r).unwrap_or(flags.len());
+    assert!(
+        flags[first_miss..].iter().all(|&r| !r),
+        "hash-list residency must be a strict top-down prefix"
+    );
+    assert!(!s.level_list_overflowed(), "level lists must always fit DRAM");
+}
+
+#[test]
+fn new_values_enter_the_log_and_inline_over_time() {
+    let mut s = store(EngineKind::AnyKeyPlus);
+    fill(&mut s, 30_000);
+    let log = s.value_log().expect("AnyKey+ has a log");
+    assert!(log.valid_bytes() > 0, "fresh values must be in the log");
+    let logged: u64 = s.levels.iter().map(|l| l.logged_bytes).sum();
+    assert_eq!(
+        logged,
+        log.valid_bytes(),
+        "per-level logged accounting must equal the log's valid bytes"
+    );
+    // The deepest level's data should be mostly inlined (log-triggered
+    // compactions swept it).
+    let deep = s.levels.iter().rev().find(|l| !l.is_empty()).unwrap();
+    assert!(
+        deep.logged_bytes < deep.kv_bytes,
+        "log-triggered sweeps must have inlined part of the deep level (logged {} of {})",
+        deep.logged_bytes,
+        deep.kv_bytes
+    );
+}
+
+#[test]
+fn anykey_no_log_never_builds_a_log() {
+    let mut s = store(EngineKind::AnyKeyNoLog);
+    fill(&mut s, 30_000);
+    assert!(s.value_log().is_none());
+    assert_eq!(s.counters().writes(OpCause::LogWrite), 0);
+    assert_eq!(s.counters().reads(OpCause::LogRead), 0);
+    assert!(s.get(123).found);
+}
+
+#[test]
+fn group_area_blocks_mostly_die_whole() {
+    let mut s = store(EngineKind::AnyKeyPlus);
+    fill(&mut s, 60_000);
+    // Update churn to force compactions over existing data.
+    for id in 0..30_000u64 {
+        s.put(id % 10_000, 48).unwrap();
+    }
+    let c = s.counters();
+    // Erases happen (blocks recycled) with near-zero GC relocation — the
+    // paper's Section 4.4.4 claim.
+    assert!(c.erases() > 20, "compaction must recycle blocks");
+    assert!(
+        c.reads(OpCause::GcRead) < c.reads(OpCause::CompactionRead) / 4,
+        "GC relocation ({}) must be small next to compaction ({})",
+        c.reads(OpCause::GcRead),
+        c.reads(OpCause::CompactionRead)
+    );
+}
+
+#[test]
+fn metadata_only_probe_tracks_invalid_log_bytes() {
+    let mut s = store(EngineKind::AnyKeyPlus);
+    fill(&mut s, 20_000);
+    let invalid_before: u64 = s.levels.iter().map(|l| l.invalid_logged).sum();
+    // Overwrite keys whose old versions are flushed: their logged bytes
+    // become invalid.
+    for id in 0..5_000u64 {
+        s.put(id, 48).unwrap();
+    }
+    let invalid_after: u64 = s.levels.iter().map(|l| l.invalid_logged).sum();
+    assert!(
+        invalid_after > invalid_before,
+        "overwrites must be accounted as invalid log bytes"
+    );
+}
+
+#[test]
+fn deep_buried_key_needs_at_most_group_plus_log_reads() {
+    let mut s = store(EngineKind::AnyKeyPlus);
+    fill(&mut s, 60_000);
+    let at = s.horizon();
+    let out = s.execute(&Op::Get { key: 31 }, at).unwrap();
+    assert!(out.found);
+    assert!(
+        out.flash_reads <= 4,
+        "GET cost {} exceeds group+span+log bound",
+        out.flash_reads
+    );
+}

@@ -1,0 +1,370 @@
+//! The value log (paper Section 4.3).
+//!
+//! AnyKey detaches values from LSM-tree management: new values are appended
+//! to a dedicated flash region and the KV entities in data segment groups
+//! hold 8-byte pointers instead. Tree compaction then only moves
+//! keys/pointers; values are merged back into groups only by
+//! *log-triggered* compaction, which is also the only mechanism that
+//! reclaims log space (no standalone GC runs in the log — Section 4.4.4).
+
+use std::collections::HashMap;
+
+use anykey_flash::{BlockAllocator, BlockId, FlashSim, Ns, OpCause, Ppa};
+
+use crate::anykey::entity::LogPtr;
+use crate::error::KvError;
+
+#[derive(Debug, Clone, Copy)]
+struct LogBlockState {
+    valid_bytes: u64,
+    sealed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenBlock {
+    id: BlockId,
+    next_page: u32,
+    page_fill: u64,
+}
+
+/// An append-only value log over a dedicated range of erase blocks.
+#[derive(Debug, Clone)]
+pub struct ValueLog {
+    alloc: BlockAllocator,
+    blocks: HashMap<BlockId, LogBlockState>,
+    open: Option<OpenBlock>,
+    page_payload: u64,
+    pages_per_block: u32,
+}
+
+impl ValueLog {
+    /// A log over the given block range.
+    pub fn new(alloc: BlockAllocator, page_payload: u64, pages_per_block: u32) -> Self {
+        Self {
+            alloc,
+            blocks: HashMap::new(),
+            open: None,
+            page_payload,
+            pages_per_block,
+        }
+    }
+
+    fn block_payload(&self) -> u64 {
+        self.page_payload * self.pages_per_block as u64
+    }
+
+    /// Total log capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.alloc.len() as u64 * self.block_payload()
+    }
+
+    /// Bytes of live values currently in the log.
+    pub fn valid_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.valid_bytes).sum()
+    }
+
+    /// Bytes still appendable without reclaiming anything.
+    pub fn free_bytes(&self) -> u64 {
+        let open_remaining = self.open.map_or(0, |o| {
+            (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill
+        });
+        self.alloc.free_count() as u64 * self.block_payload() + open_remaining
+    }
+
+    /// Whether appending `bytes` would exhaust the log (the log-triggered
+    /// compaction trigger).
+    pub fn would_overflow(&self, bytes: u64) -> bool {
+        self.free_bytes() < bytes
+    }
+
+    fn open_block(&mut self) -> Result<OpenBlock, KvError> {
+        if let Some(o) = self.open {
+            return Ok(o);
+        }
+        let id = self.alloc.alloc().ok_or(KvError::DeviceFull)?;
+        self.blocks.insert(
+            id,
+            LogBlockState {
+                valid_bytes: 0,
+                sealed: false,
+            },
+        );
+        let o = OpenBlock {
+            id,
+            next_page: 0,
+            page_fill: 0,
+        };
+        self.open = Some(o);
+        Ok(o)
+    }
+
+    fn seal_open(&mut self, flash: &mut FlashSim, at: Ns) -> Ns {
+        let Some(o) = self.open.take() else {
+            return at;
+        };
+        let mut done = at;
+        if o.page_fill > 0 {
+            done = flash.program(
+                Ppa {
+                    block: o.id,
+                    page: o.next_page,
+                },
+                OpCause::LogWrite,
+                at,
+            );
+        }
+        if let Some(b) = self.blocks.get_mut(&o.id) {
+            b.sealed = true;
+        }
+        done
+    }
+
+    /// Appends a value of `value_len` bytes at time `at`; returns its
+    /// pointer and the completion time of any page programs this caused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::DeviceFull`] when no log block is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-length values (tombstones are never logged).
+    pub fn append(
+        &mut self,
+        flash: &mut FlashSim,
+        value_len: u32,
+        at: Ns,
+    ) -> Result<(LogPtr, Ns), KvError> {
+        assert!(value_len > 0, "zero-length values are never logged");
+        let len = value_len as u64;
+        assert!(
+            len <= self.block_payload(),
+            "value of {len} bytes exceeds the erase-block payload {}",
+            self.block_payload()
+        );
+        let mut done = at;
+
+        let mut o = self.open_block()?;
+        // If the value cannot fit in this block's remaining pages, seal the
+        // block and start a fresh one (values never span blocks).
+        let remaining =
+            (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill;
+        if len > remaining {
+            done = done.max(self.seal_open(flash, at));
+            o = self.open_block()?;
+        }
+
+        let start_page = o.next_page;
+        let mut left = len;
+        let mut pages_touched = 0u8;
+        while left > 0 {
+            let room = self.page_payload - o.page_fill;
+            let take = left.min(room);
+            o.page_fill += take;
+            left -= take;
+            pages_touched += 1;
+            if o.page_fill == self.page_payload {
+                // Page full: program it.
+                done = done.max(flash.program(
+                    Ppa {
+                        block: o.id,
+                        page: o.next_page,
+                    },
+                    OpCause::LogWrite,
+                    at,
+                ));
+                o.next_page += 1;
+                o.page_fill = 0;
+            }
+        }
+        // A value ending exactly at a page boundary still occupies only the
+        // pages it touched.
+        if o.page_fill == 0 && pages_touched > 0 {
+            // start_page..next_page were all programmed.
+        }
+        self.open = Some(o);
+        self.blocks
+            .get_mut(&o.id)
+            .expect("open block is tracked")
+            .valid_bytes += len;
+        // Block exhausted: seal it so reclaim can consider it.
+        if o.next_page == self.pages_per_block {
+            done = done.max(self.seal_open(flash, at));
+        }
+        Ok((
+            LogPtr {
+                block: o.id,
+                page: start_page,
+                pages: pages_touched,
+            },
+            done,
+        ))
+    }
+
+    /// Marks `bytes` of the value at `ptr` invalid (its entity was
+    /// superseded, deleted, or its value was inlined into a group).
+    pub fn invalidate(&mut self, ptr: LogPtr, bytes: u64) {
+        if let Some(b) = self.blocks.get_mut(&ptr.block) {
+            debug_assert!(b.valid_bytes >= bytes, "log block accounting underflow");
+            b.valid_bytes = b.valid_bytes.saturating_sub(bytes);
+        }
+    }
+
+    /// Erases every sealed, fully-invalid block; returns the bytes freed
+    /// and the erase completion time.
+    pub fn reclaim(&mut self, flash: &mut FlashSim, at: Ns) -> (u64, Ns) {
+        let victims: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .filter(|(_, s)| s.sealed && s.valid_bytes == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut done = at;
+        let freed = victims.len() as u64 * self.block_payload();
+        for id in victims {
+            done = done.max(flash.erase(id, at));
+            self.blocks.remove(&id);
+            self.alloc.free(id);
+        }
+        (freed, done)
+    }
+
+    /// Reads the value at `ptr`; returns the completion time.
+    pub fn read_value(&self, flash: &mut FlashSim, ptr: LogPtr, cause: OpCause, at: Ns) -> Ns {
+        flash.read_many(Self::ptr_pages(ptr), cause, at)
+    }
+
+    /// The flash pages a pointer's value occupies.
+    pub fn ptr_pages(ptr: LogPtr) -> impl Iterator<Item = Ppa> {
+        (0..ptr.pages as u32).map(move |i| Ppa {
+            block: ptr.block,
+            page: ptr.page + i,
+        })
+    }
+
+    /// Number of blocks in the log region.
+    pub fn block_count(&self) -> usize {
+        self.alloc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anykey_flash::FlashConfig;
+
+    fn setup() -> (FlashSim, ValueLog) {
+        let flash = FlashSim::new(FlashConfig::small_test());
+        // 4 blocks of 128 pages x 8128B payload.
+        let log = ValueLog::new(BlockAllocator::new(0..4), 8128, 128);
+        (flash, log)
+    }
+
+    #[test]
+    fn append_returns_pointers_within_capacity() {
+        let (mut flash, mut log) = setup();
+        let (ptr, _) = log.append(&mut flash, 100, 0).unwrap();
+        assert_eq!(ptr.page, 0);
+        assert_eq!(ptr.pages, 1);
+        assert_eq!(log.valid_bytes(), 100);
+    }
+
+    #[test]
+    fn small_values_share_pages() {
+        let (mut flash, mut log) = setup();
+        let (a, _) = log.append(&mut flash, 100, 0).unwrap();
+        let (b, _) = log.append(&mut flash, 100, 0).unwrap();
+        assert_eq!(a.block, b.block);
+        assert_eq!(a.page, b.page, "two 100B values fit one 8128B page");
+        // No page has been programmed yet (page not full).
+        assert_eq!(flash.counters().total_writes(), 0);
+    }
+
+    #[test]
+    fn page_programs_happen_when_pages_fill() {
+        let (mut flash, mut log) = setup();
+        for _ in 0..100 {
+            log.append(&mut flash, 4000, 0).unwrap();
+        }
+        // 400 KB over 8128-byte pages: ~49 page programs.
+        let w = flash.counters().writes(OpCause::LogWrite);
+        assert!((45..=55).contains(&w), "got {w} log writes");
+    }
+
+    #[test]
+    fn values_span_pages_but_not_blocks() {
+        let (mut flash, mut log) = setup();
+        // Fill most of the first page so the next value spans.
+        log.append(&mut flash, 8000, 0).unwrap();
+        let (spanning, _) = log.append(&mut flash, 1000, 0).unwrap();
+        assert_eq!(spanning.pages, 2);
+
+        // Now nearly exhaust the block and check block sealing.
+        let block_payload = 8128 * 128u64;
+        let mut used = 9000u64;
+        while used + 8000 < block_payload {
+            log.append(&mut flash, 8000, 0).unwrap();
+            used += 8000;
+        }
+        let (next, _) = log.append(&mut flash, 8000, 0).unwrap();
+        assert_ne!(next.block.0, 0, "value must not span into a new block");
+    }
+
+    #[test]
+    fn free_bytes_decreases_and_reclaim_recovers() {
+        let (mut flash, mut log) = setup();
+        let before = log.free_bytes();
+        let mut ptrs = Vec::new();
+        let block_payload = 8128 * 128u64;
+        let mut used = 0;
+        while used + 4000 <= block_payload {
+            ptrs.push(log.append(&mut flash, 4000, 0).unwrap().0);
+            used += 4000;
+        }
+        assert!(log.free_bytes() < before);
+        // Invalidate everything in the first block and reclaim.
+        let first = ptrs[0].block;
+        for p in &ptrs {
+            if p.block == first {
+                log.invalidate(*p, 4000);
+            }
+        }
+        // Push the open block to seal by continuing to append.
+        while log
+            .blocks
+            .get(&first)
+            .map(|b| !b.sealed)
+            .unwrap_or(false)
+        {
+            ptrs.push(log.append(&mut flash, 4000, 0).unwrap().0);
+        }
+        let (freed, _) = log.reclaim(&mut flash, 0);
+        assert_eq!(freed, block_payload);
+        assert_eq!(flash.counters().erases(), 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_device_full() {
+        let mut flash = FlashSim::new(FlashConfig::small_test());
+        let mut log = ValueLog::new(BlockAllocator::new(0..1), 8128, 128);
+        let block_payload = 8128 * 128u64;
+        let mut used = 0;
+        while used + 8000 <= block_payload {
+            log.append(&mut flash, 8000, 0).unwrap();
+            used += 8000;
+        }
+        assert_eq!(
+            log.append(&mut flash, 8000, 0).unwrap_err(),
+            KvError::DeviceFull
+        );
+    }
+
+    #[test]
+    fn would_overflow_tracks_free_bytes() {
+        let (mut flash, mut log) = setup();
+        assert!(!log.would_overflow(1000));
+        assert!(log.would_overflow(log.capacity_bytes() + 1));
+        log.append(&mut flash, 8128, 0).unwrap();
+        assert_eq!(log.free_bytes(), log.capacity_bytes() - 8128);
+    }
+}

@@ -1,0 +1,207 @@
+//! The DRAM write buffer (L0).
+//!
+//! Both engines buffer incoming PUT/DELETE requests in device DRAM and
+//! flush them into L1 via an L0→L1 compaction when the buffer reservation
+//! fills (paper Section 4.4.2). Lookups check the buffer first — the newest
+//! version of a key always wins.
+
+use std::collections::BTreeMap;
+
+use crate::key::Key;
+
+/// Per-entry bookkeeping overhead in the buffer (skip-list node, pointers).
+pub const BUFFER_ENTRY_OVERHEAD: u64 = 16;
+
+/// One buffered mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufEntry {
+    /// Value length in bytes (0 for tombstones).
+    pub value_len: u32,
+    /// Whether this entry deletes the key.
+    pub tombstone: bool,
+}
+
+/// A capacity-bounded, key-ordered write buffer.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    map: BTreeMap<Key, BufEntry>,
+    bytes: u64,
+    capacity: u64,
+}
+
+impl WriteBuffer {
+    /// A buffer with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            map: BTreeMap::new(),
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    fn entry_bytes(key: Key, e: BufEntry) -> u64 {
+        key.len() as u64 + e.value_len as u64 + BUFFER_ENTRY_OVERHEAD
+    }
+
+    /// Inserts or replaces a mutation for `key`.
+    pub fn insert(&mut self, key: Key, entry: BufEntry) {
+        if let Some(old) = self.map.insert(key, entry) {
+            self.bytes -= Self::entry_bytes(key, old);
+        }
+        self.bytes += Self::entry_bytes(key, entry);
+    }
+
+    /// The buffered mutation for `key`, if any.
+    pub fn get(&self, key: &Key) -> Option<&BufEntry> {
+        self.map.get(key)
+    }
+
+    /// Whether the buffer has reached its capacity and must flush.
+    pub fn is_full(&self) -> bool {
+        self.bytes >= self.capacity
+    }
+
+    /// Current buffered bytes (including per-entry overhead).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total value bytes of buffered non-tombstone entries — the log space
+    /// an L0 flush will need.
+    pub fn pending_value_bytes(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|e| !e.tombstone)
+            .map(|e| e.value_len as u64)
+            .sum()
+    }
+
+    /// Takes all entries (key-ordered), leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<(Key, BufEntry)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map).into_iter().collect()
+    }
+
+    /// Buffered entries with keys in `[start, ..)`, in key order — used by
+    /// range scans to merge L0 results.
+    pub fn range_from(&self, start: Key) -> impl Iterator<Item = (&Key, &BufEntry)> {
+        self.map.range(start..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(id: u64) -> Key {
+        Key::new(id, 16).unwrap()
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut b = WriteBuffer::new(1000);
+        b.insert(
+            k(1),
+            BufEntry {
+                value_len: 100,
+                tombstone: false,
+            },
+        );
+        assert_eq!(b.get(&k(1)).unwrap().value_len, 100);
+        assert!(b.get(&k(2)).is_none());
+    }
+
+    #[test]
+    fn replacement_does_not_leak_bytes() {
+        let mut b = WriteBuffer::new(1000);
+        let e = BufEntry {
+            value_len: 100,
+            tombstone: false,
+        };
+        b.insert(k(1), e);
+        let once = b.bytes();
+        b.insert(k(1), e);
+        assert_eq!(b.bytes(), once);
+        b.insert(
+            k(1),
+            BufEntry {
+                value_len: 10,
+                tombstone: false,
+            },
+        );
+        assert!(b.bytes() < once);
+    }
+
+    #[test]
+    fn fills_at_capacity() {
+        let mut b = WriteBuffer::new(300);
+        let e = BufEntry {
+            value_len: 100,
+            tombstone: false,
+        };
+        b.insert(k(1), e);
+        assert!(!b.is_full());
+        b.insert(k(2), e);
+        assert!(!b.is_full());
+        b.insert(k(3), e);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn drain_returns_sorted_and_resets() {
+        let mut b = WriteBuffer::new(1000);
+        for id in [5u64, 1, 3] {
+            b.insert(
+                k(id),
+                BufEntry {
+                    value_len: 10,
+                    tombstone: false,
+                },
+            );
+        }
+        let drained = b.drain();
+        let ids: Vec<u64> = drained.iter().map(|(key, _)| key.id()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn tombstones_are_buffered() {
+        let mut b = WriteBuffer::new(1000);
+        b.insert(
+            k(9),
+            BufEntry {
+                value_len: 0,
+                tombstone: true,
+            },
+        );
+        assert!(b.get(&k(9)).unwrap().tombstone);
+    }
+
+    #[test]
+    fn range_from_is_inclusive_and_ordered() {
+        let mut b = WriteBuffer::new(1000);
+        for id in [1u64, 2, 4, 8] {
+            b.insert(
+                k(id),
+                BufEntry {
+                    value_len: 1,
+                    tombstone: false,
+                },
+            );
+        }
+        let ids: Vec<u64> = b.range_from(k(2)).map(|(key, _)| key.id()).collect();
+        assert_eq!(ids, vec![2, 4, 8]);
+    }
+}

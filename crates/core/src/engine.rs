@@ -1,0 +1,177 @@
+//! The engine trait every KV-SSD design implements.
+
+use anykey_flash::{FlashCounters, Ns};
+use anykey_workload::Op;
+
+use crate::config::EngineKind;
+use crate::error::KvError;
+
+/// Per-page overhead reserved for ECC/headers in every flash page; the
+/// usable payload is `page_size - PAGE_HEADER_BYTES`.
+pub const PAGE_HEADER_BYTES: u32 = 64;
+
+/// Result of executing one host operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Virtual time the operation was issued.
+    pub issued_at: Ns,
+    /// Virtual time the operation completed.
+    pub done_at: Ns,
+    /// Whether the key was found (GET/DELETE) or accepted (PUT); for scans,
+    /// whether at least one key was returned.
+    pub found: bool,
+    /// Number of flash page reads on this operation's critical path — the
+    /// paper's Figure 11b metric (flash accesses per read request).
+    pub flash_reads: u32,
+}
+
+impl OpOutcome {
+    /// The operation's latency.
+    pub fn latency(&self) -> Ns {
+        self.done_at - self.issued_at
+    }
+}
+
+/// Snapshot of an engine's metadata footprint and placement — the inputs to
+/// the paper's Table 1 and Figure 11a.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataStats {
+    /// Bytes of level lists (both engines).
+    pub level_list_bytes: u64,
+    /// Level-list bytes that did **not** fit in DRAM (PinK under low-v/k).
+    pub level_list_flash_bytes: u64,
+    /// Total bytes of AnyKey hash lists (resident or not).
+    pub hash_list_total_bytes: u64,
+    /// Hash-list bytes currently resident in DRAM.
+    pub hash_list_resident_bytes: u64,
+    /// PinK meta-segment bytes resident in DRAM.
+    pub meta_segment_dram_bytes: u64,
+    /// PinK meta-segment bytes stored in flash.
+    pub meta_segment_flash_bytes: u64,
+    /// Configured DRAM capacity.
+    pub dram_capacity: u64,
+    /// DRAM currently in use (write buffer reservation + resident
+    /// metadata).
+    pub dram_used: u64,
+    /// Number of LSM levels currently populated.
+    pub levels: usize,
+    /// Bytes of live, unique user KV data — the numerator of the Figure 14
+    /// storage-utilization metric.
+    pub live_unique_bytes: u64,
+    /// Bytes of values currently parked in the value log (AnyKey).
+    pub value_log_used_bytes: u64,
+}
+
+impl MetadataStats {
+    /// All metadata bytes that want DRAM (the paper's Table 1 "Sum").
+    pub fn metadata_bytes(&self) -> u64 {
+        self.level_list_bytes
+            + self.hash_list_resident_bytes
+            + self.meta_segment_dram_bytes
+            + self.meta_segment_flash_bytes
+    }
+}
+
+/// A simulated key-value SSD.
+///
+/// All three systems of the paper (PinK, AnyKey, AnyKey+) implement this
+/// trait; the runner and benchmark harness drive them uniformly. Operations
+/// carry an *issue time* in virtual nanoseconds and return a completion
+/// time; engines schedule their flash traffic (foreground and background)
+/// on the shared per-chip timelines, which is how background compaction
+/// delays foreground requests.
+pub trait KvEngine {
+    /// Which design this engine is.
+    fn kind(&self) -> EngineKind;
+
+    /// Executes one host operation issued at virtual time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::DeviceFull`] when a PUT cannot be accepted, and
+    /// [`KvError::KeyTooLarge`] for ill-formed key ids.
+    fn execute(&mut self, op: &Op, at: Ns) -> Result<OpOutcome, KvError>;
+
+    /// Runs a range scan and returns the key ids found (in key order) with
+    /// the outcome; used by correctness tests and the Figure 18 experiment.
+    fn scan_keys(&mut self, start: u64, len: u32, at: Ns) -> (Vec<u64>, OpOutcome);
+
+    /// Metadata footprint snapshot.
+    fn metadata(&self) -> MetadataStats;
+
+    /// Flash traffic counters (reads/writes/erases per cause).
+    fn counters(&self) -> FlashCounters;
+
+    /// Resets the flash counters (end of warm-up).
+    fn reset_counters(&mut self);
+
+    /// The virtual time at which all in-flight flash work completes.
+    fn horizon(&self) -> Ns;
+
+    /// Raw flash capacity of this engine's region in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Inserts (or updates) a key at the current horizon — convenience for
+    /// examples and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::DeviceFull`] when the device cannot accept the
+    /// write.
+    fn put(&mut self, key: u64, value_len: u32) -> Result<OpOutcome, KvError> {
+        let at = self.horizon();
+        self.execute(&Op::Put { key, value_len }, at)
+    }
+
+    /// Looks a key up at the current horizon — convenience for examples and
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key id does not fit the configured key length.
+    fn get(&mut self, key: u64) -> OpOutcome {
+        let at = self.horizon();
+        self.execute(&Op::Get { key }, at)
+            .expect("get cannot fail for well-formed keys")
+    }
+
+    /// Deletes a key at the current horizon — convenience for examples and
+    /// tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::DeviceFull`] when the tombstone cannot be
+    /// buffered.
+    fn delete(&mut self, key: u64) -> Result<OpOutcome, KvError> {
+        let at = self.horizon();
+        self.execute(&Op::Delete { key }, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_latency_is_delta() {
+        let o = OpOutcome {
+            issued_at: 10,
+            done_at: 150,
+            found: true,
+            flash_reads: 2,
+        };
+        assert_eq!(o.latency(), 140);
+    }
+
+    #[test]
+    fn metadata_sum_matches_table1_definition() {
+        let m = MetadataStats {
+            level_list_bytes: 10,
+            hash_list_resident_bytes: 20,
+            meta_segment_dram_bytes: 5,
+            meta_segment_flash_bytes: 7,
+            ..MetadataStats::default()
+        };
+        assert_eq!(m.metadata_bytes(), 42);
+    }
+}

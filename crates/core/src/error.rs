@@ -1,0 +1,54 @@
+//! Engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the KV engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The device cannot accept more data: the flash regions (group/data
+    /// area or value log) are exhausted even after compaction and GC.
+    ///
+    /// This is the signal the Figure-14 storage-utilization experiment
+    /// fills toward.
+    DeviceFull,
+    /// A key id too large for the workload's key length (the synthesized
+    /// big-endian id would not fit in the key bytes, breaking ordering).
+    KeyTooLarge {
+        /// The offending key id.
+        id: u64,
+        /// The configured key length in bytes.
+        key_len: u16,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::DeviceFull => f.write_str("device is full"),
+            KvError::KeyTooLarge { id, key_len } => {
+                write!(f, "key id {id} does not fit in a {key_len}-byte key")
+            }
+        }
+    }
+}
+
+impl Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let s = KvError::DeviceFull.to_string();
+        assert!(s.chars().next().unwrap().is_lowercase());
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KvError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthesized keys.
+//!
+//! The workloads of Table 2 fix a key length per workload; what varies is
+//! the key's identity. We represent a key as a `(u64 id, length)` pair and
+//! synthesize its byte image deterministically: a constant filler prefix
+//! followed by the big-endian id, so that **lexicographic byte order equals
+//! id order** — the property the LSM levels, range scans and data segment
+//! group directories sort by. Hashing (xxHash32) runs over the synthesized
+//! bytes, so hash collisions occur organically as they would with real key
+//! material.
+
+use crate::hash::xxhash32;
+use crate::KvError;
+use std::fmt;
+
+/// Maximum supported key length in bytes (Table 2's largest is 94; the
+/// paper's analysis goes up to 80-byte keys).
+pub const MAX_KEY_LEN: usize = 128;
+
+/// A workload key: a 64-bit id rendered at a fixed byte length.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    id: u64,
+    len: u16,
+}
+
+impl Key {
+    /// Creates a key of `len` bytes from `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::KeyTooLarge`] if `id` cannot be encoded in `len`
+    /// bytes (only possible for `len < 8`), and [`KvError::KeyTooLarge`]
+    /// with `key_len = 0` is never produced because zero-length keys are
+    /// rejected by the panic below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds [`MAX_KEY_LEN`].
+    pub fn new(id: u64, len: u16) -> Result<Self, KvError> {
+        assert!(
+            (1..=MAX_KEY_LEN as u16).contains(&len),
+            "key length {len} out of range 1..={MAX_KEY_LEN}"
+        );
+        if (len as usize) < 8 && id >> (8 * len as u32) != 0 {
+            return Err(KvError::KeyTooLarge { id, key_len: len });
+        }
+        Ok(Self { id, len })
+    }
+
+    /// The key id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> u16 {
+        self.len
+    }
+
+    /// Whether the key is empty (never true for a constructed key).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes the synthesized key bytes into `buf` and returns the filled
+    /// prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the key length.
+    pub fn bytes<'b>(&self, buf: &'b mut [u8]) -> &'b [u8] {
+        let len = self.len as usize;
+        let out = &mut buf[..len];
+        let id_bytes = self.id.to_be_bytes();
+        if len >= 8 {
+            out[..len - 8].fill(b'k');
+            out[len - 8..].copy_from_slice(&id_bytes);
+        } else {
+            out.copy_from_slice(&id_bytes[8 - len..]);
+        }
+        out
+    }
+
+    /// The 32-bit xxHash of the synthesized key bytes — the hash AnyKey
+    /// sorts data segment groups by and stores in hash lists.
+    pub fn hash32(&self) -> u32 {
+        let mut buf = [0u8; MAX_KEY_LEN];
+        xxhash32(self.bytes(&mut buf), 0)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({}/{}B)", self.id, self.len)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_order_matches_id_order() {
+        let mut prev = Vec::new();
+        for id in [0u64, 1, 2, 255, 256, 65535, 1 << 40, u64::MAX] {
+            let k = Key::new(id, 24).unwrap();
+            let mut buf = [0u8; MAX_KEY_LEN];
+            let bytes = k.bytes(&mut buf).to_vec();
+            assert!(bytes > prev || prev.is_empty());
+            prev = bytes;
+        }
+    }
+
+    #[test]
+    fn ord_impl_matches_byte_order() {
+        let a = Key::new(100, 32).unwrap();
+        let b = Key::new(200, 32).unwrap();
+        assert!(a < b);
+        let mut ba = [0u8; MAX_KEY_LEN];
+        let mut bb = [0u8; MAX_KEY_LEN];
+        assert!(a.bytes(&mut ba) < b.bytes(&mut bb));
+    }
+
+    #[test]
+    fn short_keys_reject_large_ids() {
+        assert!(Key::new(0xFFFF, 2).is_ok());
+        assert!(Key::new(0x1_0000, 2).is_err());
+    }
+
+    #[test]
+    fn bytes_have_declared_length() {
+        for len in [1u16, 7, 8, 9, 16, 48, 94, 128] {
+            let k = Key::new(42, len).unwrap();
+            let mut buf = [0u8; MAX_KEY_LEN];
+            assert_eq!(k.bytes(&mut buf).len(), len as usize);
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u32> = (0..10_000u64)
+            .map(|id| Key::new(id, 48).unwrap().hash32())
+            .collect();
+        // With 10k keys in a 2^32 space, collisions should be absent or
+        // nearly so.
+        assert!(hashes.len() >= 9_998);
+        assert_eq!(
+            Key::new(7, 48).unwrap().hash32(),
+            Key::new(7, 48).unwrap().hash32()
+        );
+    }
+
+    #[test]
+    fn different_lengths_hash_differently() {
+        assert_ne!(
+            Key::new(7, 16).unwrap().hash32(),
+            Key::new(7, 24).unwrap().hash32()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn zero_length_panics() {
+        let _ = Key::new(0, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # anykey-core
+//!
+//! The key-value SSD engines of the AnyKey reproduction (ASPLOS 2025):
+//!
+//! * [`anykey::AnyKeyStore`] — the paper's contribution. KV pairs are
+//!   managed in *data segment groups* (multiple physically-consecutive
+//!   flash pages, hash-sorted inside, key-partitioned across); the
+//!   DRAM-resident *level lists* keep one entry per **group** (smallest
+//!   key, first-page PPA, per-page first-key hash prefixes, hash-collision
+//!   bits) instead of one per KV pair, so metadata stays small under any
+//!   key size; *hash lists* (sorted key-hash arrays, best-effort top-down
+//!   in remaining DRAM) suppress speculative flash reads; a *value log*
+//!   detaches values from LSM-tree compaction. Three variants share the
+//!   implementation: base **AnyKey**, **AnyKey+** (modified log-triggered
+//!   compaction that prevents compaction chains, Section 4.7), and
+//!   **AnyKey−** (no value log; the Section 6.7 ablation).
+//! * [`pink::PinkStore`] — the state-of-the-art baseline. Per-pair sorted
+//!   *meta segments* with level lists, DRAM spill to flash, data segments
+//!   holding full KV pairs, full-level compaction, and valid-data GC.
+//!
+//! Both engines implement [`KvEngine`] and run over the
+//! [`anykey_flash::FlashSim`] virtual-time device, so the benchmark harness
+//! can measure tail latencies, IOPS, per-cause flash traffic, and storage
+//! utilization for each system under identical workloads.
+//!
+//! ```
+//! use anykey_core::{DeviceConfig, EngineKind, KvEngine};
+//!
+//! let mut dev = DeviceConfig::builder()
+//!     .capacity_bytes(64 << 20)
+//!     .engine(EngineKind::AnyKey)
+//!     .build()
+//!     .build_engine();
+//! dev.put(1, 100).unwrap();
+//! assert!(dev.get(1).found);
+//! assert!(!dev.get(2).found);
+//! ```
+
+pub mod anykey;
+pub mod buffer;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod error;
+pub mod hash;
+pub mod key;
+pub mod meta_model;
+pub mod pink;
+pub mod runner;
+
+pub use config::{CpuModel, DeviceConfig, DeviceConfigBuilder, EngineKind};
+pub use engine::{KvEngine, MetadataStats, OpOutcome, PAGE_HEADER_BYTES};
+pub use error::KvError;
+pub use hash::xxhash32;
+pub use key::Key;
+pub use runner::{run, warm_up, RunReport};

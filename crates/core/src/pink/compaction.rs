@@ -1,0 +1,292 @@
+//! PinK's flush, tree compaction and DRAM placement.
+//!
+//! PinK compaction merges *meta segments* only: KV pairs stay where the
+//! L0 flush wrote them in the data area, and only the `(key, PPA)` index
+//! moves. Under low-v/k workloads the index itself is huge and mostly
+//! flash-resident, so even this "metadata-only" compaction reads and
+//! rewrites large amounts of flash (the paper's Table 3).
+
+use anykey_flash::{BlockId, Ns, OpCause, Ppa};
+
+use crate::error::KvError;
+use crate::pink::segment::{DataPtr, SegEntry, Segment};
+use crate::pink::{PinkLevel, PinkStore};
+
+impl PinkStore {
+    /// Flushes the write buffer: KV pairs go to the data area, their index
+    /// entries merge into L1, then tree compactions cascade.
+    pub(crate) fn flush(&mut self, at: Ns) -> Result<Ns, KvError> {
+        if self.buffer.is_empty() {
+            return Ok(at);
+        }
+        let mut t = self.gc_if_needed(at)?;
+        let entries = self.buffer.drain();
+        let mut upper: Vec<SegEntry> = Vec::with_capacity(entries.len());
+        for (key, be) in entries {
+            let ptr = if be.tombstone {
+                DataPtr {
+                    block: BlockId(0),
+                    page: 0,
+                    span: 0,
+                }
+            } else {
+                let bytes = key.len() as u64
+                    + be.value_len as u64
+                    + crate::pink::segment::SEG_ENTRY_OVERHEAD;
+                let (ptr, td) =
+                    self.data
+                        .append(&mut self.alloc, &mut self.flash, bytes, OpCause::CompactionWrite, t)?;
+                t = t.max(td);
+                ptr
+            };
+            upper.push(SegEntry {
+                key,
+                value_len: be.value_len,
+                ptr,
+                tombstone: be.tombstone,
+            });
+        }
+        let t_ack = self.merge_levels(None, upper, 0, t)?;
+        // Deeper merges are pipelined background work; the buffer frees as
+        // soon as the L0->L1 merge lands.
+        self.maintain(t_ack)?;
+        Ok(t_ack)
+    }
+
+    /// Cascades tree compactions while any level exceeds its threshold.
+    pub(crate) fn maintain(&mut self, at: Ns) -> Result<Ns, KvError> {
+        let mut t = at;
+        let mut i = 0;
+        while i < self.levels.len() {
+            if self.levels[i].over_threshold() {
+                self.ensure_next_level(i);
+                t = self.merge_levels(Some(i), Vec::new(), i + 1, t)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(t)
+    }
+
+    fn ensure_next_level(&mut self, i: usize) {
+        if i + 1 == self.levels.len() {
+            let threshold = self.levels[i].threshold * self.cfg.level_ratio;
+            self.levels.push(PinkLevel::new(threshold));
+        }
+    }
+
+    /// Merges `src` (or the given pre-built entries) into level `dst`,
+    /// rebuilding `dst`'s meta segments and re-planning DRAM placement.
+    pub(crate) fn merge_levels(
+        &mut self,
+        src: Option<usize>,
+        upper_in: Vec<SegEntry>,
+        dst: usize,
+        at: Ns,
+    ) -> Result<Ns, KvError> {
+        // Old meta generations are freed before the new one is written, so
+        // the transient need is the destination's *growth* (the source's
+        // meta volume) plus slack.
+        let block_bytes = self.flash.geometry().block_bytes();
+        let growth_blocks = match src {
+            Some(si) => {
+                let bytes: u64 = self.levels[si].segs.iter().map(Segment::bytes).sum();
+                (bytes / block_bytes) as usize + 2
+            }
+            None => 2,
+        };
+        let t_head = self.gc_for_headroom(at, growth_blocks)?.max(at);
+
+        // --- 1. Take inputs; read and free their spilled meta pages. ----
+        let mut read_ppas: Vec<Ppa> = Vec::new();
+        let mut freed_pages: Vec<Ppa> = Vec::new();
+        let mut take_level = |level: &mut PinkLevel| -> Vec<SegEntry> {
+            let segs = std::mem::take(&mut level.segs);
+            let mut out = Vec::new();
+            for s in segs {
+                if !s.resident {
+                    let ppa = s.ppa.expect("spilled segment has a location");
+                    read_ppas.push(ppa);
+                    freed_pages.push(ppa);
+                }
+                out.extend(s.entries);
+            }
+            freed_pages.append(&mut level.list_pages);
+            out
+        };
+        let upper = match src {
+            Some(si) => {
+                debug_assert!(upper_in.is_empty());
+                take_level(&mut self.levels[si])
+            }
+            None => upper_in,
+        };
+        let lower = take_level(&mut self.levels[dst]);
+        drop(take_level);
+        let t_read = self
+            .flash
+            .read_many(read_ppas, OpCause::CompactionRead, t_head);
+        let mut t_erase = t_read;
+        for ppa in freed_pages {
+            t_erase = t_erase.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, t_read));
+        }
+
+        // --- 2. Merge newest-wins; dead pairs free data bytes. ---------
+        let is_bottom = self.levels[dst + 1..].iter().all(PinkLevel::is_empty);
+        let mut merged: Vec<SegEntry> = Vec::with_capacity(upper.len() + lower.len());
+        {
+            let mut ui = upper.into_iter().peekable();
+            let mut li = lower.into_iter().peekable();
+            loop {
+                let take_upper = match (ui.peek(), li.peek()) {
+                    (Some(u), Some(l)) => {
+                        if u.key == l.key {
+                            let dead = li.next().expect("peeked");
+                            self.data.invalidate(dead.ptr, dead.data_bytes());
+                            true
+                        } else {
+                            u.key < l.key
+                        }
+                    }
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let e = if take_upper {
+                    ui.next().expect("peeked")
+                } else {
+                    li.next().expect("peeked")
+                };
+                if e.tombstone && is_bottom {
+                    continue;
+                }
+                merged.push(e);
+            }
+        }
+
+        // --- 3. Rebuild page-sized segments. ----------------------------
+        let merged_count = merged.len() as u64;
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut cur: Vec<SegEntry> = Vec::new();
+        let mut cur_bytes = 0u64;
+        for e in merged {
+            let sz = e.seg_bytes();
+            if !cur.is_empty() && cur_bytes + sz > self.page_payload {
+                segs.push(Segment {
+                    entries: std::mem::take(&mut cur),
+                    resident: false,
+                    ppa: None,
+                });
+                cur_bytes = 0;
+            }
+            cur_bytes += sz;
+            cur.push(e);
+        }
+        if !cur.is_empty() {
+            segs.push(Segment {
+                entries: cur,
+                resident: false,
+                ppa: None,
+            });
+        }
+        self.levels[dst].segs = segs;
+        self.levels[dst].recount();
+        if let Some(si) = src {
+            self.levels[si].recount();
+        }
+
+        // --- 4. Re-plan DRAM placement (charging spills/loads). ---------
+        if std::env::var("ANYKEY_DEBUG").is_ok() {
+            eprintln!(
+                "merge src={src:?} dst={dst}: free={} data={} meta={} merged={merged_count}",
+                self.alloc.free_count(),
+                self.data.block_count(),
+                self.meta.block_count()
+            );
+        }
+        let t_place = self.rebalance(Some(dst), t_read)?;
+
+        let done = t_place.max(t_erase) + merged_count * self.cfg.cpu.sort_ns_per_entity;
+        let done = done.max(self.gc_if_needed(done)?);
+        Ok(done)
+    }
+
+    /// Recomputes which level lists and meta segments are DRAM-resident
+    /// (write buffer first, then level lists in level order, then meta
+    /// segments in level order), charging flash traffic for every
+    /// structure that spills out of — or loads into — DRAM.
+    ///
+    /// `rebuilt`'s structures are brand new: their spills are part of the
+    /// compaction (CompactionWrite); other levels' spills are background
+    /// metadata traffic (MetaWrite).
+    pub(crate) fn rebalance(&mut self, rebuilt: Option<usize>, at: Ns) -> Result<Ns, KvError> {
+        self.dram.clear_claims();
+        let mut t = at;
+
+        // Pass 1: level lists.
+        for li in 0..self.levels.len() {
+            let want = self.levels[li].list_bytes();
+            let new_res = want == 0 || self.dram.try_claim(want);
+            let was_res = self.levels[li].list_resident;
+            let is_rebuilt = rebuilt == Some(li);
+            if new_res {
+                if !was_res && !is_rebuilt {
+                    // Load into DRAM: read and release the flash copy.
+                    let pages = std::mem::take(&mut self.levels[li].list_pages);
+                    for ppa in pages {
+                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
+                        t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, at));
+                    }
+                }
+                self.levels[li].list_pages.clear();
+            } else {
+                let needs_write = is_rebuilt || was_res || self.levels[li].list_pages.is_empty();
+                if needs_write {
+                    let cause = if is_rebuilt {
+                        OpCause::CompactionWrite
+                    } else {
+                        OpCause::MetaWrite
+                    };
+                    let pages_needed = want.div_ceil(self.page_payload).max(1);
+                    let mut pages = Vec::with_capacity(pages_needed as usize);
+                    for _ in 0..pages_needed {
+                        let ppa = self.meta.alloc_page(&mut self.alloc, li)?;
+                        t = t.max(self.flash.program(ppa, cause, at));
+                        pages.push(ppa);
+                    }
+                    self.levels[li].list_pages = pages;
+                }
+            }
+            self.levels[li].list_resident = new_res;
+        }
+
+        // Pass 2: meta segments, level order.
+        for li in 0..self.levels.len() {
+            let is_rebuilt = rebuilt == Some(li);
+            for si in 0..self.levels[li].segs.len() {
+                let bytes = self.levels[li].segs[si].bytes();
+                let new_res = self.dram.try_claim(bytes);
+                let was_res = self.levels[li].segs[si].resident;
+                let had_ppa = self.levels[li].segs[si].ppa.is_some();
+                if new_res {
+                    if !was_res && had_ppa {
+                        let ppa = self.levels[li].segs[si].ppa.take().expect("checked");
+                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
+                        t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, at));
+                    }
+                } else if !had_ppa {
+                    let cause = if is_rebuilt {
+                        OpCause::CompactionWrite
+                    } else {
+                        OpCause::MetaWrite
+                    };
+                    let ppa = self.meta.alloc_page(&mut self.alloc, li)?;
+                    t = t.max(self.flash.program(ppa, cause, at));
+                    self.levels[li].segs[si].ppa = Some(ppa);
+                }
+                self.levels[li].segs[si].resident = new_res;
+            }
+        }
+        Ok(t)
+    }
+}

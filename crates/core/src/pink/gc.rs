@@ -1,0 +1,218 @@
+//! PinK's garbage collection.
+//!
+//! PinK's out-of-place updates strand dead KV pairs in the data area;
+//! reclaiming a block means reading it, re-appending its live pairs, and
+//! patching every meta segment that pointed at them — the dominant cost
+//! the paper measures for PinK under update-heavy workloads (Table 3 shows
+//! hundreds of millions of GC page reads where AnyKey has none).
+
+use std::collections::BTreeSet;
+
+use anykey_flash::{BlockId, Ns, OpCause, Ppa};
+
+use crate::error::KvError;
+use crate::pink::PinkStore;
+
+impl PinkStore {
+    fn debug_full(&self, why: &str) {
+        if std::env::var("ANYKEY_DEBUG").is_ok() {
+            let owned_seg_pages: usize = self
+                .levels
+                .iter()
+                .flat_map(|l| l.segs.iter())
+                .filter(|s| s.ppa.is_some())
+                .count();
+            let owned_list_pages: usize = self.levels.iter().map(|l| l.list_pages.len()).sum();
+            let live_meta_pages: u64 = (0..self.alloc.len() as u32)
+                .map(|b| self.meta.live_in(anykey_flash::BlockId(b)) as u64)
+                .sum();
+            eprintln!(
+                "PinK device-full ({why}): free={} data_blocks={} meta_blocks={} total={} owned_pages={} (segs {owned_seg_pages} + lists {owned_list_pages}) live_meta_pages={live_meta_pages}",
+                self.alloc.free_count(),
+                self.data.block_count(),
+                self.meta.block_count(),
+                self.alloc.len(),
+                owned_seg_pages + owned_list_pages,
+            );
+            if let Some((b, v)) = self.data.victim() {
+                eprintln!("  data victim {b}: valid {v}");
+            }
+            if let Some((b, l)) = self.meta.victim() {
+                eprintln!("  meta victim {b}: live {l}");
+            }
+        }
+    }
+
+    /// Keeps at least `reserve_blocks` erase blocks free, collecting data
+    /// or meta blocks as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::DeviceFull`] when nothing can be reclaimed.
+    pub(crate) fn gc_if_needed(&mut self, at: Ns) -> Result<Ns, KvError> {
+        self.gc_for_headroom(at, 0)
+    }
+
+    /// Like [`Self::gc_if_needed`], but clears `extra` additional blocks —
+    /// the transient headroom a large merge needs before its source
+    /// generation is freed.
+    pub(crate) fn gc_for_headroom(&mut self, at: Ns, extra: usize) -> Result<Ns, KvError> {
+        let reserve = self.cfg.reserve_blocks as usize + extra;
+        let mut t = at;
+        let mut guard = 0usize;
+        while self.alloc.free_count() < reserve {
+            guard += 1;
+            if guard > self.alloc.len() * 2 {
+                self.debug_full("gc made no progress");
+                return Err(KvError::DeviceFull);
+            }
+            let block_payload =
+                self.page_payload * self.flash.geometry().pages_per_block as u64;
+            let data_victim = self.data.victim();
+            let meta_victim = self.meta.victim();
+            let data_frac = data_victim
+                .map(|(_, v)| v as f64 / block_payload as f64)
+                .unwrap_or(f64::MAX);
+            let meta_frac = meta_victim
+                .map(|(_, live)| live as f64 / self.flash.geometry().pages_per_block as f64)
+                .unwrap_or(f64::MAX);
+            if data_frac <= meta_frac {
+                let Some((victim, _)) = data_victim else {
+                    self.debug_full("no data victim");
+                    return Err(KvError::DeviceFull);
+                };
+                if data_frac >= 0.999 {
+                    // Everything is live: relocation recovers nothing.
+                    self.debug_full("data fully live");
+                    return Err(KvError::DeviceFull);
+                }
+                t = self.relocate_data_block(victim, t)?;
+            } else {
+                let Some((victim, live)) = meta_victim else {
+                    return Err(KvError::DeviceFull);
+                };
+                if live == 0 {
+                    // A block emptied while it was still a stream's open
+                    // block: nothing to relocate, just erase it.
+                    self.meta.forget_empty(victim);
+                    t = t.max(self.flash.erase(victim, t));
+                    self.alloc.free(victim);
+                } else {
+                    t = self.relocate_meta_block(victim, t)?;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Collects a data block: reads it, re-inserts its live pairs through
+    /// the write path (so meta segments are updated by normal compaction
+    /// rather than patched in place — the reason the paper's Table 3 shows
+    /// PinK with enormous GC *reads* but no GC writes), and erases it.
+    fn relocate_data_block(&mut self, victim: BlockId, at: Ns) -> Result<Ns, KvError> {
+        // The device reads the whole victim block to identify live pairs.
+        let pages = self.flash.geometry().pages_per_block;
+        let read_ppas = (0..pages).map(|p| Ppa {
+            block: victim,
+            page: p,
+        });
+        let t_read = self.flash.read_many(read_ppas, OpCause::GcRead, at);
+
+        // Live pairs (not shadowed by a buffered newer version) go back
+        // through the write buffer; their stale lower-level entries are
+        // superseded immediately and dropped at the next merge.
+        let mut reinsert: Vec<(crate::key::Key, u32)> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for level in &self.levels {
+            for seg in &level.segs {
+                for e in &seg.entries {
+                    if !e.tombstone && e.ptr.block == victim && seen.insert(e.key) {
+                        // Only the newest version of a key counts as live;
+                        // deeper duplicates are garbage already.
+                        if self.newest_ptr(e.key).is_some_and(|p| p.block == victim)
+                            && self.buffer.get(&e.key).is_none()
+                        {
+                            reinsert.push((e.key, e.value_len));
+                        }
+                    }
+                }
+            }
+        }
+        for (key, value_len) in reinsert {
+            self.buffer.insert(
+                key,
+                crate::buffer::BufEntry {
+                    value_len,
+                    tombstone: false,
+                },
+            );
+        }
+        self.data.remove_block(victim);
+        let t = self.flash.erase(victim, t_read);
+        self.alloc.free(victim);
+        Ok(t)
+    }
+
+    /// The data pointer of the newest (shallowest) version of `key`, if
+    /// any.
+    fn newest_ptr(&self, key: crate::key::Key) -> Option<crate::pink::segment::DataPtr> {
+        for level in &self.levels {
+            if let Some(si) = level.candidate(key) {
+                if let Some(e) = level.segs[si].find(key) {
+                    if e.tombstone {
+                        return None;
+                    }
+                    return Some(e.ptr);
+                }
+            }
+        }
+        None
+    }
+
+    /// Relocates the live meta pages of a meta block and erases it.
+    fn relocate_meta_block(&mut self, victim: BlockId, at: Ns) -> Result<Ns, KvError> {
+        // Owners: spilled segments and spilled level-list pages.
+        let mut seg_owners: Vec<(usize, usize)> = Vec::new();
+        let mut list_owners: Vec<(usize, usize)> = Vec::new();
+        for (li, level) in self.levels.iter().enumerate() {
+            for (si, seg) in level.segs.iter().enumerate() {
+                if seg.ppa.is_some_and(|p| p.block == victim) {
+                    seg_owners.push((li, si));
+                }
+            }
+            for (pi, ppa) in level.list_pages.iter().enumerate() {
+                if ppa.block == victim {
+                    list_owners.push((li, pi));
+                }
+            }
+        }
+        let read_ppas: Vec<Ppa> = seg_owners
+            .iter()
+            .map(|&(li, si)| self.levels[li].segs[si].ppa.expect("owner is spilled"))
+            .chain(
+                list_owners
+                    .iter()
+                    .map(|&(li, pi)| self.levels[li].list_pages[pi]),
+            )
+            .collect();
+        let t_read = self.flash.read_many(read_ppas, OpCause::GcRead, at);
+        let mut t = t_read;
+        for (li, si) in seg_owners {
+            let old = self.levels[li].segs[si].ppa.take().expect("owner is spilled");
+            t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, old, t_read));
+            let new = self.meta.alloc_page(&mut self.alloc, li)?;
+            t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
+            self.levels[li].segs[si].ppa = Some(new);
+        }
+        for (li, pi) in list_owners {
+            let old = self.levels[li].list_pages[pi];
+            t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, old, t_read));
+            let new = self.meta.alloc_page(&mut self.alloc, li)?;
+            t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
+            self.levels[li].list_pages[pi] = new;
+        }
+        // `free_page` erased and freed the victim once its last live page
+        // was released.
+        Ok(t)
+    }
+}

@@ -1,0 +1,481 @@
+//! The PinK baseline engine.
+//!
+//! PinK is the state-of-the-art LSM-tree key-value SSD the paper evaluates
+//! against. Its metadata is per-KV-pair: sorted *meta segments* of
+//! `(key, PPA)` entries with a *level list* entry per segment. Under
+//! high-v/k workloads this metadata is small and the hot part stays in
+//! DRAM; under low-v/k workloads it outgrows DRAM, and every GET pays
+//! flash reads just to locate the pair — the degradation AnyKey fixes
+//! (paper Sections 2–3).
+
+pub mod compaction;
+pub mod gc;
+pub mod segment;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+
+use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_workload::Op;
+
+use crate::buffer::{BufEntry, WriteBuffer};
+use crate::config::{DeviceConfig, EngineKind};
+use crate::dram::DramBudget;
+use crate::engine::{KvEngine, MetadataStats, OpOutcome};
+use crate::error::KvError;
+use crate::key::Key;
+
+use segment::{DataArea, MetaArea, SegEntry, Segment, LIST_ENTRY_OVERHEAD};
+
+/// One PinK LSM level: meta segments plus its level list's placement.
+#[derive(Debug, Clone, Default)]
+pub struct PinkLevel {
+    /// Key-ordered, disjoint meta segments.
+    pub segs: Vec<Segment>,
+    /// Logical KV bytes referenced by this level.
+    pub kv_bytes: u64,
+    /// Tree-compaction threshold.
+    pub threshold: u64,
+    /// Whether this level's level list is DRAM-resident.
+    pub list_resident: bool,
+    /// Flash pages of the spilled level list (empty when resident).
+    pub list_pages: Vec<Ppa>,
+}
+
+impl PinkLevel {
+    /// An empty level with the given threshold.
+    pub fn new(threshold: u64) -> Self {
+        Self {
+            threshold,
+            list_resident: true,
+            ..Self::default()
+        }
+    }
+
+    /// Segment index whose key range contains `key`.
+    pub fn candidate(&self, key: Key) -> Option<usize> {
+        let idx = self.segs.partition_point(|s| s.first_key() <= key);
+        idx.checked_sub(1)
+    }
+
+    /// First segment that can contain keys ≥ `key` (scans).
+    pub fn scan_start(&self, key: Key) -> usize {
+        match self.candidate(key) {
+            Some(i)
+                if self.segs[i]
+                    .entries
+                    .last()
+                    .is_some_and(|e| e.key >= key) =>
+            {
+                i
+            }
+            Some(i) => i + 1,
+            None => 0,
+        }
+    }
+
+    /// Bytes of this level's level list.
+    pub fn list_bytes(&self) -> u64 {
+        self.segs
+            .iter()
+            .map(|s| s.first_key().len() as u64 + LIST_ENTRY_OVERHEAD)
+            .sum()
+    }
+
+    /// Recomputes logical size.
+    pub fn recount(&mut self) {
+        self.kv_bytes = self
+            .segs
+            .iter()
+            .flat_map(|s| s.entries.iter())
+            .map(SegEntry::kv_bytes)
+            .sum();
+    }
+
+    /// Whether the level holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Whether the level outgrew its threshold.
+    pub fn over_threshold(&self) -> bool {
+        self.kv_bytes > self.threshold
+    }
+}
+
+/// The PinK key-value SSD.
+#[derive(Debug)]
+pub struct PinkStore {
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) flash: FlashSim,
+    pub(crate) buffer: WriteBuffer,
+    pub(crate) levels: Vec<PinkLevel>,
+    pub(crate) alloc: BlockAllocator,
+    pub(crate) meta: MetaArea,
+    pub(crate) data: DataArea,
+    pub(crate) dram: DramBudget,
+    pub(crate) page_payload: u64,
+    live: HashMap<u64, u32>,
+    live_bytes: u64,
+    /// Completion time of the in-flight flush (double-buffered L0).
+    flush_done: Ns,
+}
+
+impl PinkStore {
+    /// Builds a PinK device from a configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let flash = FlashSim::new(cfg.flash);
+        let geometry = cfg.flash.geometry;
+        let page_payload = cfg.page_payload() as u64;
+        Self {
+            buffer: WriteBuffer::new(cfg.write_buffer_bytes),
+            levels: vec![PinkLevel::new(cfg.write_buffer_bytes * cfg.level_ratio)],
+            alloc: BlockAllocator::new(0..geometry.blocks()),
+            meta: MetaArea::new(geometry.pages_per_block),
+            data: DataArea::new(geometry.pages_per_block, page_payload),
+            dram: DramBudget::new(cfg.dram_bytes, cfg.write_buffer_bytes.min(cfg.dram_bytes / 2)),
+            page_payload,
+            live: HashMap::new(),
+            live_bytes: 0,
+            flush_done: 0,
+            flash,
+            cfg,
+        }
+    }
+
+    fn make_key(&self, id: u64) -> Result<Key, KvError> {
+        Key::new(id, self.cfg.key_len)
+    }
+
+    fn list_entries_per_page(&self, key_len: u64) -> u64 {
+        (self.page_payload / (key_len + LIST_ENTRY_OVERHEAD)).max(1)
+    }
+
+    fn do_put(&mut self, id: u64, value_len: u32, tombstone: bool, at: Ns) -> Result<OpOutcome, KvError> {
+        let key = self.make_key(id)?;
+        self.buffer.insert(
+            key,
+            BufEntry {
+                value_len,
+                tombstone,
+            },
+        );
+        if tombstone {
+            if let Some(old) = self.live.remove(&id) {
+                self.live_bytes -= key.len() as u64 + old as u64;
+            }
+        } else {
+            match self.live.insert(id, value_len) {
+                Some(old) => {
+                    self.live_bytes = self.live_bytes - old as u64 + value_len as u64;
+                }
+                None => self.live_bytes += key.len() as u64 + value_len as u64,
+            }
+        }
+        let mut done = at + self.cfg.cpu.dram_op_ns;
+        if self.buffer.is_full() {
+            // Double-buffered L0: stall only while the previous flush is
+            // still in flight.
+            let start = at.max(self.flush_done);
+            self.flush_done = self.flush(start)?;
+            done = start + self.cfg.cpu.dram_op_ns;
+        }
+        Ok(OpOutcome {
+            issued_at: at,
+            done_at: done,
+            found: true,
+            flash_reads: 0,
+        })
+    }
+
+    fn do_get(&mut self, id: u64, at: Ns) -> Result<OpOutcome, KvError> {
+        let key = self.make_key(id)?;
+        let mut t = at;
+        let mut reads = 0u32;
+
+        if let Some(e) = self.buffer.get(&key) {
+            return Ok(OpOutcome {
+                issued_at: at,
+                done_at: t + self.cfg.cpu.dram_op_ns,
+                found: !e.tombstone,
+                flash_reads: 0,
+            });
+        }
+
+        for li in 0..self.levels.len() {
+            let Some(si) = self.levels[li].candidate(key) else {
+                continue;
+            };
+            // Level-list probe: free in DRAM, one flash read when spilled.
+            if !self.levels[li].list_resident {
+                let key_len = self.levels[li].segs[si].first_key().len() as u64;
+                let per_page = self.list_entries_per_page(key_len) as usize;
+                let page_idx = (si / per_page).min(self.levels[li].list_pages.len().saturating_sub(1));
+                if let Some(&ppa) = self.levels[li].list_pages.get(page_idx) {
+                    t = self.flash.read(ppa, OpCause::MetaRead, t);
+                    reads += 1;
+                }
+            }
+            // Meta-segment access: free when pinned, one flash read when
+            // spilled.
+            if !self.levels[li].segs[si].resident {
+                let ppa = self.levels[li].segs[si]
+                    .ppa
+                    .expect("spilled segment has a flash location");
+                t = self.flash.read(ppa, OpCause::MetaRead, t);
+                reads += 1;
+            }
+            if let Some(e) = self.levels[li].segs[si].find(key) {
+                if e.tombstone {
+                    return Ok(OpOutcome {
+                        issued_at: at,
+                        done_at: t + self.cfg.cpu.dram_op_ns,
+                        found: false,
+                        flash_reads: reads,
+                    });
+                }
+                let ptr = e.ptr;
+                reads += ptr.span as u32;
+                let done = self.flash.read_many(ptr.pages(), OpCause::HostRead, t);
+                return Ok(OpOutcome {
+                    issued_at: at,
+                    done_at: done,
+                    found: true,
+                    flash_reads: reads,
+                });
+            }
+        }
+        Ok(OpOutcome {
+            issued_at: at,
+            done_at: t + self.cfg.cpu.dram_op_ns,
+            found: false,
+            flash_reads: reads,
+        })
+    }
+
+    fn do_scan(&mut self, start_id: u64, len: u32, at: Ns) -> Result<(Vec<u64>, OpOutcome), KvError> {
+        let start = self.make_key(start_id)?;
+        let want = len as usize;
+        let mut t = at;
+        let mut reads = 0u32;
+
+        // Collect up to `want` candidates per level, charging meta reads
+        // for every spilled structure touched.
+        struct Cand {
+            entry: SegEntry,
+            level: usize,
+        }
+        // Tombstones and cross-level duplicates consume candidates; retry
+        // with a doubled per-level budget until every capped level's
+        // frontier covers the emitted range (see the AnyKey scan path).
+        let mut budget = want;
+        let (mut cands, mut meta_ppas, mut limit): (Vec<Cand>, Vec<Ppa>, Option<Key>);
+        loop {
+            cands = Vec::new();
+            meta_ppas = Vec::new();
+            let mut frontier: Vec<Key> = Vec::new();
+            for li in 0..self.levels.len() {
+                let level = &self.levels[li];
+                if level.is_empty() {
+                    continue;
+                }
+                if !level.list_resident {
+                    if let Some(&ppa) = level.list_pages.first() {
+                        meta_ppas.push(ppa);
+                    }
+                }
+                let mut taken = 0usize;
+                let mut si = level.scan_start(start);
+                while taken < budget && si < level.segs.len() {
+                    let seg = &level.segs[si];
+                    if !seg.resident {
+                        meta_ppas.push(seg.ppa.expect("spilled segment has a location"));
+                    }
+                    let from = seg.entries.partition_point(|e| e.key < start);
+                    for e in &seg.entries[from..] {
+                        if taken >= budget {
+                            break;
+                        }
+                        cands.push(Cand { entry: *e, level: li });
+                        taken += 1;
+                    }
+                    si += 1;
+                }
+                if taken >= budget {
+                    if let Some(c) = cands.last() {
+                        frontier.push(c.entry.key);
+                    }
+                }
+            }
+            limit = frontier.into_iter().min();
+            let reachable = {
+                let mut newest: std::collections::BTreeMap<Key, (usize, bool)> =
+                    std::collections::BTreeMap::new();
+                for c in &cands {
+                    if limit.is_none_or(|l| c.entry.key <= l) {
+                        let e = newest
+                            .entry(c.entry.key)
+                            .or_insert((c.level, c.entry.tombstone));
+                        if c.level < e.0 {
+                            *e = (c.level, c.entry.tombstone);
+                        }
+                    }
+                }
+                for (k, be) in self.buffer.range_from(start) {
+                    if limit.is_none_or(|l| *k <= l) {
+                        newest.insert(*k, (0, be.tombstone));
+                    }
+                }
+                newest.values().filter(|&&(_, t)| !t).count()
+            };
+            if limit.is_none() || reachable >= want || budget >= want * 64 {
+                break;
+            }
+            budget *= 2;
+        }
+        meta_ppas.sort_unstable();
+        meta_ppas.dedup();
+        reads += meta_ppas.len() as u32;
+        t = self.flash.read_many(meta_ppas, OpCause::MetaRead, t);
+
+        // Merge with the buffer, newest wins.
+        cands.sort_by(|a, b| a.entry.key.cmp(&b.entry.key).then(a.level.cmp(&b.level)));
+        let mut chosen: Vec<(Key, Option<SegEntry>)> = Vec::new();
+        {
+            let mut buf_iter = self.buffer.range_from(start).peekable();
+            let mut i = 0;
+            while chosen.len() < want && (i < cands.len() || buf_iter.peek().is_some()) {
+                let next_level_key = cands.get(i).map(|c| c.entry.key);
+                let next_buf_key = buf_iter.peek().map(|(k, _)| **k);
+                let key = match (next_buf_key, next_level_key) {
+                    (Some(b), Some(l)) => b.min(l),
+                    (Some(b), None) => b,
+                    (None, Some(l)) => l,
+                    (None, None) => break,
+                };
+                if limit.is_some_and(|l| key > l) {
+                    // Never emit beyond a capped level's frontier.
+                    break;
+                }
+                let mut buf_tomb = None;
+                if next_buf_key == Some(key) {
+                    let (_, e) = buf_iter.next().expect("peeked");
+                    buf_tomb = Some(e.tombstone);
+                }
+                let mut newest: Option<SegEntry> = None;
+                while i < cands.len() && cands[i].entry.key == key {
+                    if newest.is_none() {
+                        newest = Some(cands[i].entry);
+                    }
+                    i += 1;
+                }
+                match buf_tomb {
+                    Some(true) => {}
+                    Some(false) => chosen.push((key, None)),
+                    None => match newest {
+                        Some(e) if e.tombstone => {}
+                        Some(e) => chosen.push((key, Some(e))),
+                        None => {}
+                    },
+                }
+            }
+        }
+
+        // Read the data pages of the selected pairs. In PinK these are
+        // scattered over the data area (values are placed in buffer-arrival
+        // order), which is why long scans cost it dearly (Figure 18).
+        let mut data_ppas: Vec<Ppa> = Vec::new();
+        for (_, e) in &chosen {
+            if let Some(e) = e {
+                data_ppas.extend(e.ptr.pages());
+            }
+        }
+        data_ppas.sort_unstable();
+        data_ppas.dedup();
+        reads += data_ppas.len() as u32;
+        let done = self.flash.read_many(data_ppas, OpCause::HostRead, t);
+
+        let ids: Vec<u64> = chosen.iter().map(|(k, _)| k.id()).collect();
+        let found = !ids.is_empty();
+        Ok((
+            ids,
+            OpOutcome {
+                issued_at: at,
+                done_at: done.max(t),
+                found,
+                flash_reads: reads,
+            },
+        ))
+    }
+}
+
+impl KvEngine for PinkStore {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Pink
+    }
+
+    fn execute(&mut self, op: &Op, at: Ns) -> Result<OpOutcome, KvError> {
+        match *op {
+            Op::Get { key } => self.do_get(key, at),
+            Op::Put { key, value_len } => self.do_put(key, value_len, false, at),
+            Op::Delete { key } => self.do_put(key, 0, true, at),
+            Op::Scan { start, len } => self.do_scan(start, len, at).map(|(_, o)| o),
+        }
+    }
+
+    fn scan_keys(&mut self, start: u64, len: u32, at: Ns) -> (Vec<u64>, OpOutcome) {
+        self.do_scan(start, len, at)
+            .expect("scan cannot fail for well-formed keys")
+    }
+
+    fn metadata(&self) -> MetadataStats {
+        let level_list_bytes: u64 = self.levels.iter().map(PinkLevel::list_bytes).sum();
+        let level_list_flash: u64 = self
+            .levels
+            .iter()
+            .filter(|l| !l.list_resident)
+            .map(PinkLevel::list_bytes)
+            .sum();
+        let (mut seg_dram, mut seg_flash) = (0u64, 0u64);
+        for level in &self.levels {
+            for seg in &level.segs {
+                if seg.resident {
+                    seg_dram += seg.bytes();
+                } else {
+                    seg_flash += seg.bytes();
+                }
+            }
+        }
+        MetadataStats {
+            level_list_bytes,
+            level_list_flash_bytes: level_list_flash,
+            hash_list_total_bytes: 0,
+            hash_list_resident_bytes: 0,
+            meta_segment_dram_bytes: seg_dram,
+            meta_segment_flash_bytes: seg_flash,
+            dram_capacity: self.dram.capacity,
+            dram_used: self.dram.used(),
+            levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
+            live_unique_bytes: self.live_bytes,
+            value_log_used_bytes: 0,
+        }
+    }
+
+    fn counters(&self) -> FlashCounters {
+        self.flash.counters().clone()
+    }
+
+    fn reset_counters(&mut self) {
+        self.flash.reset_counters();
+    }
+
+    fn horizon(&self) -> Ns {
+        self.flash.horizon()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cfg.capacity_bytes()
+    }
+}

@@ -1,0 +1,195 @@
+//! The host driver: a closed-loop, queue-depth-64 request pipeline over
+//! virtual time (the paper's uNVMe + FIO setup, Section 5.1).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use anykey_flash::{FlashCounters, Ns, SECOND};
+use anykey_metrics::LatencyHist;
+use anykey_workload::Op;
+
+use crate::engine::KvEngine;
+use crate::error::KvError;
+
+/// The paper's I/O queue depth: 64 outstanding requests, enough to keep
+/// all 64 flash chips busy.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Maximum per-GET flash reads tracked in the Figure 11b histogram.
+pub const MAX_TRACKED_READS: usize = 9;
+
+/// Everything measured over one execution stage.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Latencies of GET operations.
+    pub reads: LatencyHist,
+    /// Latencies of PUT/DELETE operations.
+    pub writes: LatencyHist,
+    /// Latencies of SCAN operations.
+    pub scans: LatencyHist,
+    /// Operations executed.
+    pub ops: u64,
+    /// GETs that found their key.
+    pub found: u64,
+    /// GETs that missed.
+    pub not_found: u64,
+    /// Virtual time the stage started at.
+    pub start: Ns,
+    /// Virtual time the last request completed at.
+    pub end: Ns,
+    /// Flash traffic of the stage (counters delta).
+    pub counters: FlashCounters,
+    /// Histogram of flash reads per GET: index *i* counts GETs that needed
+    /// *i* flash page reads (the last bucket aggregates ≥ MAX_TRACKED_READS)
+    /// — the paper's Figure 11b.
+    pub reads_per_get: [u64; MAX_TRACKED_READS + 1],
+}
+
+impl RunReport {
+    /// Operations per virtual second.
+    pub fn iops(&self) -> f64 {
+        let span = self.end.saturating_sub(self.start).max(1);
+        self.ops as f64 * SECOND as f64 / span as f64
+    }
+
+    /// Mean flash reads per GET.
+    pub fn mean_reads_per_get(&self) -> f64 {
+        let total: u64 = self.reads_per_get.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .reads_per_get
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
+/// Drives `n_ops` operations from `ops` through `engine` with a closed-loop
+/// pipeline of `queue_depth` outstanding requests.
+///
+/// Issue times are the completion times of freed pipeline slots, so
+/// foreground requests queue behind background compaction exactly as they
+/// would on hardware.
+///
+/// # Errors
+///
+/// Returns [`KvError::DeviceFull`] if the device fills mid-run.
+pub fn run(
+    engine: &mut dyn KvEngine,
+    ops: impl Iterator<Item = Op>,
+    n_ops: u64,
+    queue_depth: usize,
+) -> Result<RunReport, KvError> {
+    let start = engine.horizon();
+    let mut report = RunReport {
+        reads: LatencyHist::new(),
+        writes: LatencyHist::new(),
+        scans: LatencyHist::new(),
+        ops: 0,
+        found: 0,
+        not_found: 0,
+        start,
+        end: start,
+        counters: FlashCounters::new(),
+        reads_per_get: [0; MAX_TRACKED_READS + 1],
+    };
+    let counters_before = engine.counters();
+    let mut inflight: BinaryHeap<Reverse<Ns>> = BinaryHeap::new();
+
+    for op in ops.take(n_ops as usize) {
+        let at = if inflight.len() >= queue_depth {
+            inflight.pop().expect("pipeline is non-empty").0
+        } else {
+            start
+        };
+        let outcome = engine.execute(&op, at)?;
+        let latency = outcome.latency();
+        match op {
+            Op::Get { .. } => {
+                report.reads.record(latency);
+                if outcome.found {
+                    report.found += 1;
+                } else {
+                    report.not_found += 1;
+                }
+                let bucket = (outcome.flash_reads as usize).min(MAX_TRACKED_READS);
+                report.reads_per_get[bucket] += 1;
+            }
+            Op::Put { .. } | Op::Delete { .. } => report.writes.record(latency),
+            Op::Scan { .. } => report.scans.record(latency),
+        }
+        report.ops += 1;
+        report.end = report.end.max(outcome.done_at);
+        inflight.push(Reverse(outcome.done_at));
+    }
+    report.counters = engine.counters().since(&counters_before);
+    Ok(report)
+}
+
+/// The warm-up stage (paper Section 5.1): inserts every key of the
+/// workload once (shuffled), bringing the device to steady state, then
+/// resets the flash counters.
+///
+/// # Errors
+///
+/// Returns [`KvError::DeviceFull`] if the keyspace does not fit the device.
+pub fn warm_up(
+    engine: &mut dyn KvEngine,
+    spec: anykey_workload::WorkloadSpec,
+    keyspace: u64,
+    seed: u64,
+) -> Result<(), KvError> {
+    let fill = anykey_workload::ops::fill_ops(spec, keyspace, seed);
+    run(engine, fill, keyspace, DEFAULT_QUEUE_DEPTH)?;
+    engine.reset_counters();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, EngineKind};
+    use anykey_workload::{spec, OpStreamBuilder};
+
+    #[test]
+    fn pipeline_reports_iops_and_latencies() {
+        let mut dev = DeviceConfig::builder()
+            .capacity_bytes(64 << 20)
+            .engine(EngineKind::AnyKey)
+            .key_len(20)
+            .build()
+            .build_engine();
+        let w = spec::by_name("Dedup").unwrap();
+        warm_up(dev.as_mut(), w, 20_000, 1).unwrap();
+        let ops = OpStreamBuilder::new(w, 20_000).seed(2).build();
+        let report = run(dev.as_mut(), ops, 5_000, DEFAULT_QUEUE_DEPTH).unwrap();
+        assert_eq!(report.ops, 5_000);
+        assert!(report.iops() > 0.0);
+        assert!(report.reads.count() > 3_000);
+        assert!(report.writes.count() > 500);
+        // Warm-up inserted every key: GETs should overwhelmingly hit.
+        assert!(report.found > report.not_found * 50);
+        assert!(report.end > report.start);
+    }
+
+    #[test]
+    fn reads_per_get_histogram_accumulates() {
+        let mut dev = DeviceConfig::builder()
+            .capacity_bytes(64 << 20)
+            .engine(EngineKind::AnyKeyPlus)
+            .key_len(48)
+            .build()
+            .build_engine();
+        let w = spec::by_name("ZippyDB").unwrap();
+        warm_up(dev.as_mut(), w, 10_000, 3).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(4).build();
+        let report = run(dev.as_mut(), ops, 2_000, DEFAULT_QUEUE_DEPTH).unwrap();
+        let total: u64 = report.reads_per_get.iter().sum();
+        assert_eq!(total, report.found + report.not_found);
+        assert!(report.mean_reads_per_get() < MAX_TRACKED_READS as f64);
+    }
+}

@@ -1,0 +1,146 @@
+//! Erase-block allocation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+
+use crate::BlockId;
+
+/// Allocates erase blocks from a contiguous range of global block ids.
+///
+/// Each FTL region (data segment groups, value log, PinK meta area) owns an
+/// allocator over its share of the device; in multi-tenant experiments
+/// (paper Section 6.9) each tenant's engine gets a disjoint range, so two
+/// engines can share one [`crate::FlashSim`] without stepping on each other.
+///
+/// Blocks are handed out lowest-id-first; since global block ids are striped
+/// across chips, sequentially allocated blocks land on different chips and a
+/// compaction writing several blocks gets chip parallelism for free.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    range: Range<u32>,
+    free: BinaryHeap<Reverse<u32>>,
+    allocated: Vec<bool>,
+}
+
+impl BlockAllocator {
+    /// An allocator owning every block id in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(range: Range<u32>) -> Self {
+        assert!(!range.is_empty(), "block allocator range must be non-empty");
+        let free = range.clone().map(Reverse).collect();
+        let allocated = vec![false; range.len()];
+        Self {
+            range,
+            free,
+            allocated,
+        }
+    }
+
+    /// Takes the lowest-id free block, or `None` when the region is
+    /// exhausted.
+    pub fn alloc(&mut self) -> Option<BlockId> {
+        let Reverse(id) = self.free.pop()?;
+        self.allocated[(id - self.range.start) as usize] = true;
+        Some(BlockId(id))
+    }
+
+    /// Returns a block to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is outside this allocator's range or not
+    /// currently allocated (double free).
+    pub fn free(&mut self, block: BlockId) {
+        assert!(
+            self.range.contains(&block.0),
+            "{block} is outside allocator range {:?}",
+            self.range
+        );
+        let slot = &mut self.allocated[(block.0 - self.range.start) as usize];
+        assert!(*slot, "double free of {block}");
+        *slot = false;
+        self.free.push(Reverse(block.0));
+    }
+
+    /// Number of blocks currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of blocks currently allocated.
+    pub fn allocated_count(&self) -> usize {
+        self.len() - self.free_count()
+    }
+
+    /// Total number of blocks in the region.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the region has no blocks (never true for a constructed
+    /// allocator).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The range of block ids this allocator owns.
+    pub fn range(&self) -> Range<u32> {
+        self.range.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut a = BlockAllocator::new(10..14);
+        assert_eq!(a.alloc(), Some(BlockId(10)));
+        assert_eq!(a.alloc(), Some(BlockId(11)));
+        a.free(BlockId(10));
+        assert_eq!(a.alloc(), Some(BlockId(10)));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = BlockAllocator::new(0..2);
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_some());
+        assert_eq!(a.alloc(), None);
+        assert_eq!(a.free_count(), 0);
+        assert_eq!(a.allocated_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BlockAllocator::new(0..2);
+        let b = a.alloc().unwrap();
+        a.free(b);
+        a.free(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside allocator range")]
+    fn foreign_block_panics() {
+        let mut a = BlockAllocator::new(0..2);
+        a.free(BlockId(5));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut a = BlockAllocator::new(0..8);
+        let blocks: Vec<_> = (0..5).map(|_| a.alloc().unwrap()).collect();
+        assert_eq!(a.free_count(), 3);
+        assert_eq!(a.allocated_count(), 5);
+        for b in blocks {
+            a.free(b);
+        }
+        assert_eq!(a.free_count(), 8);
+    }
+}

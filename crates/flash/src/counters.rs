@@ -1,0 +1,224 @@
+//! Cause-tagged accounting of flash traffic.
+//!
+//! Every simulated page read, page program, and block erase is attributed to
+//! a cause. The benchmark harness aggregates these to regenerate the paper's
+//! Table 3 (compaction vs. GC page reads/writes per system) and Figure 13
+//! (total page writes, a proxy for device lifetime).
+
+use std::fmt;
+
+/// Why a flash operation was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCause {
+    /// Foreground read servicing a host GET/SCAN (data segment pages).
+    HostRead,
+    /// Foreground program writing host data outside compaction (rare; both
+    /// engines write host data during L0→L1 compaction, tagged as such).
+    HostWrite,
+    /// Read of flash-resident metadata (PinK meta segments / spilled level
+    /// lists) on the GET path.
+    MetaRead,
+    /// Program of flash-resident metadata (PinK meta segments).
+    MetaWrite,
+    /// Read issued by a compaction (tree- or log-triggered).
+    CompactionRead,
+    /// Program issued by a compaction.
+    CompactionWrite,
+    /// Read issued by garbage collection (valid-data relocation).
+    GcRead,
+    /// Program issued by garbage collection.
+    GcWrite,
+    /// Read of a value-log page on the GET path or during log-triggered
+    /// compaction.
+    LogRead,
+    /// Program of a value-log page (initial value placement or write-back).
+    LogWrite,
+}
+
+impl OpCause {
+    /// All causes, for iteration in reports.
+    pub const ALL: [OpCause; 10] = [
+        OpCause::HostRead,
+        OpCause::HostWrite,
+        OpCause::MetaRead,
+        OpCause::MetaWrite,
+        OpCause::CompactionRead,
+        OpCause::CompactionWrite,
+        OpCause::GcRead,
+        OpCause::GcWrite,
+        OpCause::LogRead,
+        OpCause::LogWrite,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            OpCause::HostRead => 0,
+            OpCause::HostWrite => 1,
+            OpCause::MetaRead => 2,
+            OpCause::MetaWrite => 3,
+            OpCause::CompactionRead => 4,
+            OpCause::CompactionWrite => 5,
+            OpCause::GcRead => 6,
+            OpCause::GcWrite => 7,
+            OpCause::LogRead => 8,
+            OpCause::LogWrite => 9,
+        }
+    }
+
+    /// Whether this cause is a read-side cause.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            OpCause::HostRead
+                | OpCause::MetaRead
+                | OpCause::CompactionRead
+                | OpCause::GcRead
+                | OpCause::LogRead
+        )
+    }
+}
+
+impl fmt::Display for OpCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpCause::HostRead => "host-read",
+            OpCause::HostWrite => "host-write",
+            OpCause::MetaRead => "meta-read",
+            OpCause::MetaWrite => "meta-write",
+            OpCause::CompactionRead => "compaction-read",
+            OpCause::CompactionWrite => "compaction-write",
+            OpCause::GcRead => "gc-read",
+            OpCause::GcWrite => "gc-write",
+            OpCause::LogRead => "log-read",
+            OpCause::LogWrite => "log-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-cause totals of page reads, page programs and block erases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlashCounters {
+    reads: [u64; 10],
+    writes: [u64; 10],
+    erases: u64,
+}
+
+impl FlashCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_read(&mut self, cause: OpCause) {
+        self.reads[cause.idx()] += 1;
+    }
+
+    pub(crate) fn count_write(&mut self, cause: OpCause) {
+        self.writes[cause.idx()] += 1;
+    }
+
+    pub(crate) fn count_erase(&mut self) {
+        self.erases += 1;
+    }
+
+    /// Page reads attributed to `cause`.
+    pub fn reads(&self, cause: OpCause) -> u64 {
+        self.reads[cause.idx()]
+    }
+
+    /// Page programs attributed to `cause`.
+    pub fn writes(&self, cause: OpCause) -> u64 {
+        self.writes[cause.idx()]
+    }
+
+    /// Total block erases.
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Total page reads across all causes.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total page programs across all causes — the paper's Figure 13 metric
+    /// (total page writes ∝ inverse device lifetime).
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Difference against an earlier snapshot (`self - earlier`), used to
+    /// report only the measured phase after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &FlashCounters) -> FlashCounters {
+        let mut out = FlashCounters::new();
+        for i in 0..10 {
+            debug_assert!(self.reads[i] >= earlier.reads[i]);
+            debug_assert!(self.writes[i] >= earlier.writes[i]);
+            out.reads[i] = self.reads[i] - earlier.reads[i];
+            out.writes[i] = self.writes[i] - earlier.writes[i];
+        }
+        out.erases = self.erases - earlier.erases;
+        out
+    }
+}
+
+impl fmt::Display for FlashCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cause in OpCause::ALL {
+            let (r, w) = (self.reads(cause), self.writes(cause));
+            if r > 0 || w > 0 {
+                writeln!(f, "{cause:>18}: reads {r:>12} writes {w:>12}")?;
+            }
+        }
+        write!(f, "{:>18}: {}", "erases", self.erases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_cause() {
+        let mut c = FlashCounters::new();
+        c.count_read(OpCause::HostRead);
+        c.count_read(OpCause::HostRead);
+        c.count_write(OpCause::CompactionWrite);
+        c.count_erase();
+        assert_eq!(c.reads(OpCause::HostRead), 2);
+        assert_eq!(c.reads(OpCause::GcRead), 0);
+        assert_eq!(c.writes(OpCause::CompactionWrite), 1);
+        assert_eq!(c.total_reads(), 2);
+        assert_eq!(c.total_writes(), 1);
+        assert_eq!(c.erases(), 1);
+    }
+
+    #[test]
+    fn since_subtracts_snapshots() {
+        let mut c = FlashCounters::new();
+        c.count_read(OpCause::MetaRead);
+        let snap = c.clone();
+        c.count_read(OpCause::MetaRead);
+        c.count_write(OpCause::LogWrite);
+        let d = c.since(&snap);
+        assert_eq!(d.reads(OpCause::MetaRead), 1);
+        assert_eq!(d.writes(OpCause::LogWrite), 1);
+    }
+
+    #[test]
+    fn all_causes_are_distinct() {
+        use std::collections::HashSet;
+        let set: HashSet<usize> = OpCause::ALL.iter().map(|c| c.idx()).collect();
+        assert_eq!(set.len(), OpCause::ALL.len());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!FlashCounters::new().to_string().is_empty());
+    }
+}

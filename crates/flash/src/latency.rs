@@ -1,0 +1,128 @@
+//! The TLC NAND latency model.
+
+use crate::{Ns, MICROSECOND, MILLISECOND};
+
+/// The three page types of a TLC flash cell, which have different read and
+/// program latencies.
+///
+/// The paper (Section 5.1, citing \[34\]) assumes a modern TLC flash with
+/// read times (56.5, 77.5, 106) µs and program times (0.8, 2.2, 5.7) ms for
+/// the three page types, and a 3 ms block erase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Fastest page of the tri-level cell (LSB).
+    Lsb,
+    /// Middle page (CSB).
+    Csb,
+    /// Slowest page (MSB).
+    Msb,
+}
+
+impl PageKind {
+    /// The page kind of a page index within its block.
+    ///
+    /// Real TLC devices interleave page types across word lines; a simple
+    /// `index mod 3` mapping reproduces the 1/3-each mix that matters for
+    /// average and tail latencies.
+    pub fn of_page(page_index: u32) -> Self {
+        match page_index % 3 {
+            0 => PageKind::Lsb,
+            1 => PageKind::Csb,
+            _ => PageKind::Msb,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            PageKind::Lsb => 0,
+            PageKind::Csb => 1,
+            PageKind::Msb => 2,
+        }
+    }
+}
+
+/// Read/program/erase latencies of the simulated NAND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Page read latency for each [`PageKind`], in nanoseconds.
+    pub read_ns: [Ns; 3],
+    /// Page program latency for each [`PageKind`], in nanoseconds.
+    pub program_ns: [Ns; 3],
+    /// Block erase latency in nanoseconds.
+    pub erase_ns: Ns,
+    /// Per-page data transfer cost over the channel, in nanoseconds.
+    ///
+    /// 8 KiB over an ONFI-class channel (~800 MB/s) is ~10 µs; this serializes
+    /// transfers so that a burst of reads is not infinitely parallel.
+    pub transfer_ns: Ns,
+}
+
+impl LatencyModel {
+    /// The TLC latency parameters used by the paper (Section 5.1).
+    pub fn paper_tlc() -> Self {
+        Self {
+            read_ns: [
+                56_500,            // 56.5 us
+                77_500,            // 77.5 us
+                106 * MICROSECOND, // 106 us
+            ],
+            program_ns: [
+                800 * MICROSECOND,   // 0.8 ms
+                2_200 * MICROSECOND, // 2.2 ms
+                5_700 * MICROSECOND, // 5.7 ms
+            ],
+            erase_ns: 3 * MILLISECOND,
+            transfer_ns: 10 * MICROSECOND,
+        }
+    }
+
+    /// Read latency of a page of the given kind.
+    pub fn read(&self, kind: PageKind) -> Ns {
+        self.read_ns[kind.idx()] + self.transfer_ns
+    }
+
+    /// Program latency of a page of the given kind.
+    pub fn program(&self, kind: PageKind) -> Ns {
+        self.program_ns[kind.idx()] + self.transfer_ns
+    }
+
+    /// Block erase latency.
+    pub fn erase(&self) -> Ns {
+        self.erase_ns
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::paper_tlc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_section_5_1() {
+        let m = LatencyModel::paper_tlc();
+        assert_eq!(m.read_ns, [56_500, 77_500, 106_000]);
+        assert_eq!(m.program_ns, [800_000, 2_200_000, 5_700_000]);
+        assert_eq!(m.erase_ns, 3_000_000);
+    }
+
+    #[test]
+    fn page_kinds_cycle() {
+        assert_eq!(PageKind::of_page(0), PageKind::Lsb);
+        assert_eq!(PageKind::of_page(1), PageKind::Csb);
+        assert_eq!(PageKind::of_page(2), PageKind::Msb);
+        assert_eq!(PageKind::of_page(3), PageKind::Lsb);
+    }
+
+    #[test]
+    fn reads_are_faster_than_programs() {
+        let m = LatencyModel::default();
+        for kind in [PageKind::Lsb, PageKind::Csb, PageKind::Msb] {
+            assert!(m.read(kind) < m.program(kind));
+        }
+    }
+}

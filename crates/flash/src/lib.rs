@@ -1,0 +1,58 @@
+//! # anykey-flash
+//!
+//! A virtual-time NAND flash SSD simulator, the hardware substrate for the
+//! AnyKey / PinK key-value SSD reproduction.
+//!
+//! The paper ("AnyKey: A Key-Value SSD for All Workload Types", ASPLOS 2025)
+//! evaluates on FEMU, a QEMU-based flash emulator with an 8-channel ×
+//! 8-chips-per-channel TLC device. This crate reproduces the part of FEMU
+//! the experiments depend on:
+//!
+//! * device **geometry** (channels, chips, blocks, pages, page size),
+//! * a **TLC latency model** (per-page-type read/program latencies and a
+//!   block erase latency),
+//! * a **virtual-time scheduler**: every chip has a busy-until timeline and
+//!   each operation issued at time `t` completes at
+//!   `max(t, chip_free) + latency`, so foreground requests queue behind
+//!   background compaction and garbage-collection traffic exactly as they
+//!   do on real hardware,
+//! * **cause-tagged counters** for every page read, page program, and block
+//!   erase, which the benchmark harness uses to regenerate the paper's
+//!   Table 3 (compaction/GC traffic) and Figure 13 (total page writes).
+//!
+//! Nothing here stores user data: content lives in the simulated FTL
+//! structures of `anykey-core`; this crate provides *time* and *accounting*.
+//!
+//! ```
+//! use anykey_flash::{FlashConfig, FlashSim, OpCause, Ppa};
+//!
+//! let sim_cfg = FlashConfig::small_test();
+//! let mut sim = FlashSim::new(sim_cfg);
+//! let done = sim.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+//! assert!(done > 0);
+//! assert_eq!(sim.counters().reads(OpCause::HostRead), 1);
+//! ```
+
+pub mod address;
+pub mod allocator;
+pub mod counters;
+pub mod geometry;
+pub mod latency;
+pub mod sim;
+
+pub use address::{BlockId, Ppa};
+pub use allocator::BlockAllocator;
+pub use counters::{FlashCounters, OpCause};
+pub use geometry::FlashGeometry;
+pub use latency::{LatencyModel, PageKind};
+pub use sim::{FlashConfig, FlashSim};
+
+/// Simulated time in nanoseconds since the start of the run.
+pub type Ns = u64;
+
+/// One microsecond in [`Ns`].
+pub const MICROSECOND: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MILLISECOND: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SECOND: Ns = 1_000_000_000;

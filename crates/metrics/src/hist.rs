@@ -1,0 +1,278 @@
+//! Log-bucketed latency histograms.
+
+use std::fmt;
+
+/// Sub-buckets per power-of-two octave. 32 sub-buckets bound the relative
+/// quantile error at ~3 %, plenty for tail-latency comparison.
+const SUBS: usize = 32;
+/// Number of octaves covered: values up to 2^40 ns (~18 minutes).
+const OCTAVES: usize = 41;
+
+/// A latency histogram over nanosecond samples.
+///
+/// Values are binned into `octave × sub-bucket` cells (an HDR-histogram-like
+/// layout) so that recording is O(1), memory is constant, and quantiles up
+/// to p99.99 are accurate to a few percent — the precision the paper's CDF
+/// plots need.
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUBS * OCTAVES],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUBS as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as usize; // floor(log2(value))
+        let shift = octave.saturating_sub(5); // 2^5 = SUBS
+        let sub = ((value >> shift) as usize) & (SUBS - 1);
+        let idx = (octave - 4) * SUBS + sub;
+        idx.min(SUBS * OCTAVES - 1)
+    }
+
+    fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx < SUBS {
+            return idx as u64;
+        }
+        let octave = idx / SUBS + 4;
+        let sub = idx % SUBS;
+        let shift = octave.saturating_sub(5);
+        ((((1u64 << 5) + sub as u64 + 1) << shift) - 1).max(1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value_ns: u64) {
+        self.buckets[Self::bucket_of(value_ns)] += 1;
+        self.count += 1;
+        self.sum += value_ns as u128;
+        self.max = self.max.max(value_ns);
+        self.min = self.min.min(value_ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// The `q`-quantile (e.g. `0.95` for the paper's p95 tail latency).
+    ///
+    /// Returns the upper bound of the bucket containing the quantile, or 0
+    /// when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// CDF sample points `(latency_ns, cumulative_fraction)` over non-empty
+    /// buckets — one row per bucket, ready for plotting the paper's
+    /// Figure 10/15/16/17/18 curves.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            out.push((
+                Self::bucket_upper_bound(i).min(self.max),
+                seen as f64 / self.count as f64,
+            ));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("count", &self.count)
+            .field("mean_ns", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl fmt::Display for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={}us p50={}us p95={}us p99={}us max={}us",
+            self.count,
+            self.mean() / 1000,
+            self.quantile(0.5) / 1000,
+            self.quantile(0.95) / 1000,
+            self.quantile(0.99) / 1000,
+            self.max() / 1000,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.95), 0);
+        assert_eq!(h.mean(), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn single_value_dominates_all_quantiles() {
+        let mut h = LatencyHist::new();
+        h.record(12345);
+        assert_eq!(h.quantile(0.0), 12345);
+        assert_eq!(h.quantile(1.0), 12345);
+        assert_eq!(h.max(), 12345);
+        assert_eq!(h.min(), 12345);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LatencyHist::new();
+        for i in 1..=100_000u64 {
+            h.record(i * 17);
+        }
+        let exact_p95 = 95_000 * 17;
+        let est = h.quantile(0.95);
+        let rel = (est as f64 - exact_p95 as f64).abs() / exact_p95 as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = LatencyHist::new();
+        for i in 0..1000u64 {
+            h.record(i * i);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut whole = LatencyHist::new();
+        for i in 0..5000u64 {
+            let v = i * 31 % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.95), whole.quantile(0.95));
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn tiny_values_use_exact_buckets() {
+        let mut h = LatencyHist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(0.5) > 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # anykey-metrics
+//!
+//! Measurement toolkit for the AnyKey reproduction experiments: latency
+//! histograms with percentile/CDF extraction (the paper reports p95 tail
+//! latencies and latency CDFs), IOPS computation over virtual time, and
+//! ASCII/CSV report rendering for the benchmark harness.
+//!
+//! ```
+//! use anykey_metrics::LatencyHist;
+//!
+//! let mut h = LatencyHist::new();
+//! for v in [100, 200, 300, 400, 1_000_000] {
+//!     h.record(v);
+//! }
+//! assert!(h.quantile(0.5) >= 200);
+//! assert!(h.quantile(0.99) >= 400_000);
+//! ```
+
+pub mod hist;
+pub mod report;
+
+pub use hist::LatencyHist;
+pub use report::{Csv, Table};

@@ -1,0 +1,261 @@
+//! ASCII tables and CSV output for the experiment harness.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned ASCII table.
+///
+/// The benchmark harness prints one of these per paper table/figure, with
+/// the same rows/series the paper reports.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Helper for accumulating long-form CSV series (e.g. CDF curves with one
+/// row per point), where a [`Table`] per curve would be unwieldy.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    header: String,
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// A CSV accumulator with the given comma-joined header.
+    pub fn new(header: &str) -> Self {
+        Self {
+            header: header.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one pre-formatted row.
+    pub fn push<S: Into<String>>(&mut self, line: S) {
+        self.lines.push(line.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Writes the accumulated rows to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut body = self.header.clone();
+        body.push('\n');
+        for l in &self.lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        fs::write(path, body)
+    }
+}
+
+/// Formats nanoseconds as a human-readable latency (µs below 10 ms, ms
+/// above).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["workload", "iops"]);
+        t.row(["ZippyDB", "123"]).row(["W-PinK", "45678"]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("ZippyDB"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("demo", &["name", "note"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_file() {
+        let dir = std::env::temp_dir().join("anykey-metrics-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("demo", &["a"]);
+        t.row(["1"]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a\n1\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ns(1500), "1.5us");
+        assert_eq!(fmt_ns(25_000_000), "25.00ms");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(42), "42");
+    }
+
+    #[test]
+    fn csv_accumulator_writes_header_first() {
+        let dir = std::env::temp_dir().join("anykey-metrics-test2");
+        let path = dir.join("series.csv");
+        let mut c = Csv::new("x,y");
+        c.push("1,2");
+        c.push("3,4");
+        c.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x,y\n1,2\n3,4\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

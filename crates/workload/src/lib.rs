@@ -1,0 +1,37 @@
+//! # anykey-workload
+//!
+//! Workload generation for the AnyKey reproduction.
+//!
+//! The paper evaluates 14 real-life key-value workloads (Table 2), each
+//! defined by a fixed key size and value size, driven with a
+//! Zipfian-distributed key popularity (θ = 0.99 by default), a 20 % write
+//! ratio, and — for Figure 18 — range scans of configurable length. This
+//! crate provides:
+//!
+//! * [`WorkloadSpec`]: the 14 named workloads with their key/value sizes and
+//!   high-/low-v/k classification,
+//! * [`ZipfianGen`]: a YCSB-style (scrambled) Zipfian key generator,
+//! * [`OpStream`]: a deterministic, seeded stream of GET/PUT/SCAN operations.
+//!
+//! ```
+//! use anykey_workload::{spec, OpStreamBuilder};
+//!
+//! let zippy = spec::by_name("ZippyDB").unwrap();
+//! let ops: Vec<_> = OpStreamBuilder::new(zippy, 10_000)
+//!     .write_ratio(0.2)
+//!     .seed(7)
+//!     .build()
+//!     .take(100)
+//!     .collect();
+//! assert_eq!(ops.len(), 100);
+//! ```
+
+pub mod ops;
+pub mod rng;
+pub mod spec;
+pub mod zipfian;
+
+pub use ops::{Op, OpStream, OpStreamBuilder};
+pub use rng::SplitMix64;
+pub use spec::{Category, WorkloadSpec};
+pub use zipfian::{KeyDist, ZipfianGen};

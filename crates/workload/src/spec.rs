@@ -1,0 +1,249 @@
+//! The paper's Table 2: the 14 tested KV workloads.
+
+use std::fmt;
+
+/// Whether a workload's value-to-key ratio puts it in the paper's
+/// "high-v/k" (the traditionally-studied kind) or "low-v/k" (the kind that
+/// breaks existing KV-SSDs) class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Values much larger than keys (KVSSD, YCSB, W-PinK, Xbox).
+    HighVk,
+    /// Keys comparable to — or larger than — values (the other ten).
+    LowVk,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Category::HighVk => "high-v/k",
+            Category::LowVk => "low-v/k",
+        })
+    }
+}
+
+/// One row of the paper's Table 2: a named workload with fixed key and
+/// value sizes (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Workload name as used throughout the paper.
+    pub name: &'static str,
+    /// Key size in bytes.
+    pub key_len: u32,
+    /// Value size in bytes.
+    pub value_len: u32,
+    /// One-line provenance from Table 2.
+    pub description: &'static str,
+    /// High- or low-v/k per the paper's classification.
+    pub category: Category,
+}
+
+impl WorkloadSpec {
+    /// The value-to-key ratio that names the two workload classes.
+    pub fn vk_ratio(&self) -> f64 {
+        self.value_len as f64 / self.key_len as f64
+    }
+
+    /// Bytes a single KV pair contributes as user data.
+    pub fn pair_bytes(&self) -> u64 {
+        self.key_len as u64 + self.value_len as u64
+    }
+
+    /// A synthetic spec for parameter sweeps (e.g. Figure 2's v/k sweep
+    /// fixes the key at 40 B and varies the value from 20 B to 1280 B).
+    pub fn synthetic(name: &'static str, key_len: u32, value_len: u32) -> Self {
+        let category = if value_len >= 10 * key_len {
+            Category::HighVk
+        } else {
+            Category::LowVk
+        };
+        Self {
+            name,
+            key_len,
+            value_len,
+            description: "synthetic sweep point",
+            category,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (k={}B, v={}B, {})",
+            self.name, self.key_len, self.value_len, self.category
+        )
+    }
+}
+
+/// Table 2, in the paper's order (high-v/k first, then low-v/k by
+/// descending ratio).
+pub const ALL: [WorkloadSpec; 14] = [
+    WorkloadSpec {
+        name: "KVSSD",
+        key_len: 16,
+        value_len: 4096,
+        description: "The workload used in Samsung's KV-SSD work",
+        category: Category::HighVk,
+    },
+    WorkloadSpec {
+        name: "YCSB",
+        key_len: 20,
+        value_len: 1000,
+        description: "The default key and value sizes of YCSB",
+        category: Category::HighVk,
+    },
+    WorkloadSpec {
+        name: "W-PinK",
+        key_len: 32,
+        value_len: 1024,
+        description: "The workload used in PinK",
+        category: Category::HighVk,
+    },
+    WorkloadSpec {
+        name: "Xbox",
+        key_len: 94,
+        value_len: 1200,
+        description: "Xbox LIVE Primetime online game",
+        category: Category::HighVk,
+    },
+    WorkloadSpec {
+        name: "ETC",
+        key_len: 41,
+        value_len: 358,
+        description: "General-purpose KV store of Facebook",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "UDB",
+        key_len: 27,
+        value_len: 127,
+        description: "Facebook storage layer for the social graph",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "Cache",
+        key_len: 42,
+        value_len: 188,
+        description: "Twitter's cache cluster",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "VAR",
+        key_len: 35,
+        value_len: 115,
+        description: "Server-side browser information of Facebook",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "Crypto2",
+        key_len: 37,
+        value_len: 110,
+        description: "Trezor's KV store for a Bitcoin wallet",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "Dedup",
+        key_len: 20,
+        value_len: 44,
+        description: "DB of Microsoft's storage deduplication engine",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "Cache15",
+        key_len: 38,
+        value_len: 38,
+        description: "15% of the 153 cache clusters at Twitter",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "ZippyDB",
+        key_len: 48,
+        value_len: 43,
+        description: "Object metadata of a Facebook store",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "Crypto1",
+        key_len: 76,
+        value_len: 50,
+        description: "BlockStream's store for a Bitcoin explorer",
+        category: Category::LowVk,
+    },
+    WorkloadSpec {
+        name: "RTDATA",
+        key_len: 24,
+        value_len: 10,
+        description: "IBM's real-time data analytics workloads",
+        category: Category::LowVk,
+    },
+];
+
+/// Looks a workload up by its Table-2 name (case-insensitive).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    ALL.iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .copied()
+}
+
+/// The four high-v/k workloads.
+pub fn high_vk() -> impl Iterator<Item = WorkloadSpec> {
+    ALL.into_iter().filter(|w| w.category == Category::HighVk)
+}
+
+/// The ten low-v/k workloads.
+pub fn low_vk() -> impl Iterator<Item = WorkloadSpec> {
+    ALL.into_iter().filter(|w| w.category == Category::LowVk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_has_fourteen_workloads() {
+        assert_eq!(ALL.len(), 14);
+        assert_eq!(high_vk().count(), 4);
+        assert_eq!(low_vk().count(), 10);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(by_name("zippydb").unwrap().key_len, 48);
+        assert_eq!(by_name("W-PINK").unwrap().value_len, 1024);
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn high_vk_ratios_dominate_low_vk() {
+        let min_high = high_vk().map(|w| w.vk_ratio()).fold(f64::MAX, f64::min);
+        let max_low = low_vk().map(|w| w.vk_ratio()).fold(f64::MIN, f64::max);
+        assert!(min_high > max_low);
+    }
+
+    #[test]
+    fn crypto1_and_rtdata_have_keys_larger_than_values() {
+        assert!(by_name("Crypto1").unwrap().vk_ratio() < 1.0);
+        assert!(by_name("RTDATA").unwrap().vk_ratio() < 1.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = ALL.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn synthetic_classifies_by_ratio() {
+        assert_eq!(
+            WorkloadSpec::synthetic("s", 40, 1280).category,
+            Category::HighVk
+        );
+        assert_eq!(
+            WorkloadSpec::synthetic("s", 40, 20).category,
+            Category::LowVk
+        );
+    }
+}

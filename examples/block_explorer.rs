@@ -1,0 +1,66 @@
+//! A Bitcoin block-explorer index (the paper's Crypto1 workload:
+//! BlockStream's store — 76-byte keys *larger than* its 50-byte values)
+//! with both point lookups and range scans over adjacent chain entries.
+//!
+//! ```sh
+//! cargo run --release --example block_explorer
+//! ```
+
+use anykey::core::{warm_up, DeviceConfig, EngineKind, KvEngine};
+use anykey::metrics::report::fmt_ns;
+use anykey::metrics::LatencyHist;
+use anykey::workload::{spec, SplitMix64};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let crypto = spec::by_name("Crypto1").expect("Crypto1 is a Table 2 workload");
+    let capacity: u64 = 64 << 20;
+    let keyspace = capacity * 2 / 5 / crypto.pair_bytes();
+
+    println!("block explorer index: {crypto}");
+    println!("keys larger than values: the adversarial case for per-pair metadata\n");
+
+    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+        let cfg = DeviceConfig::builder()
+            .capacity_bytes(capacity)
+            .engine(kind)
+            .key_len(crypto.key_len as u16)
+            .build();
+        let mut dev = cfg.build_engine();
+        warm_up(dev.as_mut(), crypto, keyspace, 11)?;
+
+        // Point lookups of random chain entries.
+        let mut rng = SplitMix64::new(3);
+        let mut gets = LatencyHist::new();
+        for _ in 0..20_000 {
+            let id = rng.next_bounded(keyspace);
+            gets.record(dev.get(id).latency());
+        }
+
+        // Range scans: 50 consecutive entries (e.g. a block's transactions).
+        let mut scans = LatencyHist::new();
+        let mut scanned = 0usize;
+        for _ in 0..500 {
+            let start = rng.next_bounded(keyspace - 50);
+            let at = dev.horizon();
+            let (keys, outcome) = dev.scan_keys(start, 50, at);
+            scanned += keys.len();
+            scans.record(outcome.latency());
+        }
+
+        let meta = dev.metadata();
+        println!("{}:", kind.label());
+        println!("  GET  p50 {:>9}  p95 {:>9}", fmt_ns(gets.quantile(0.5)), fmt_ns(gets.quantile(0.95)));
+        println!(
+            "  SCAN p50 {:>9}  p95 {:>9}  ({} entries returned)",
+            fmt_ns(scans.quantile(0.5)),
+            fmt_ns(scans.quantile(0.95)),
+            scanned
+        );
+        println!(
+            "  metadata wanting DRAM: {} KB (DRAM budget {} KB)\n",
+            meta.metadata_bytes() >> 10,
+            meta.dram_capacity >> 10
+        );
+    }
+    Ok(())
+}

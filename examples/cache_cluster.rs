@@ -1,0 +1,60 @@
+//! A two-tenant cache box (the paper's Section 6.9 scenario): one partition
+//! serves a high-v/k tenant (W-PinK: 32 B keys, 1 KiB values), the other a
+//! low-v/k tenant (ZippyDB: 48 B keys, 43 B values). Each partition is an
+//! independent half-capacity device; we compare running both partitions on
+//! PinK vs on AnyKey+.
+//!
+//! ```sh
+//! cargo run --release --example cache_cluster
+//! ```
+
+use anykey::core::runner::DEFAULT_QUEUE_DEPTH;
+use anykey::core::{run, warm_up, DeviceConfig, EngineKind};
+use anykey::metrics::report::fmt_ns;
+use anykey::workload::{spec, OpStreamBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity: u64 = 128 << 20;
+    let half = capacity / 2;
+    let tenants = [
+        spec::by_name("W-PinK").expect("Table 2"),
+        spec::by_name("ZippyDB").expect("Table 2"),
+    ];
+
+    println!("two-tenant partitioned KV-SSD ({} MiB per partition)\n", half >> 20);
+    println!(
+        "{:>8} {:>9}  {:>10} {:>10}  {:>9}",
+        "tenant", "system", "p95 read", "p99 read", "kIOPS"
+    );
+
+    for tenant in tenants {
+        let mut p95 = [0u64; 2];
+        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus].into_iter().enumerate() {
+            let cfg = DeviceConfig::builder()
+                .capacity_bytes(half)
+                .engine(kind)
+                .key_len(tenant.key_len as u16)
+                .build();
+            let mut dev = cfg.build_engine();
+            let keyspace = half * 2 / 5 / tenant.pair_bytes();
+            warm_up(dev.as_mut(), tenant, keyspace, 21)?;
+            let ops = OpStreamBuilder::new(tenant, keyspace).seed(22).build();
+            let n = (half / tenant.pair_bytes()).max(50_000);
+            let report = run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH)?;
+            p95[i] = report.reads.quantile(0.95);
+            println!(
+                "{:>8} {:>9}  {:>10} {:>10}  {:>9.1}",
+                tenant.name,
+                kind.label(),
+                fmt_ns(report.reads.quantile(0.95)),
+                fmt_ns(report.reads.quantile(0.99)),
+                report.iops() / 1000.0
+            );
+        }
+        println!(
+            "{:>8} {:>9}  p95 improvement: {:.2}x\n",
+            "", "", p95[0] as f64 / p95[1].max(1) as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! # anykey
+//!
+//! Facade crate for the AnyKey reproduction workspace. Re-exports the flash
+//! simulator substrate, the key-value SSD engines (PinK, AnyKey, AnyKey+),
+//! the Table-2 workload generators, and the metrics toolkit under one roof,
+//! so examples and downstream users need a single dependency.
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+//!
+//! ```
+//! use anykey::core::{DeviceConfig, EngineKind};
+//!
+//! let cfg = DeviceConfig::builder()
+//!     .capacity_bytes(64 << 20)
+//!     .engine(EngineKind::AnyKeyPlus)
+//!     .build();
+//! let mut dev = cfg.build_engine();
+//! dev.put(42, 100);
+//! assert!(dev.get(42).found);
+//! ```
+
+pub use anykey_core as core;
+pub use anykey_flash as flash;
+pub use anykey_metrics as metrics;
+pub use anykey_workload as workload;

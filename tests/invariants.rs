@@ -1,0 +1,155 @@
+//! System-level invariants from the paper's design claims.
+
+use anykey::core::{warm_up, DeviceConfig, EngineKind, KvEngine};
+use anykey::flash::OpCause;
+use anykey::workload::{spec, WorkloadSpec};
+
+fn device(kind: EngineKind, key_len: u16, capacity: u64) -> Box<dyn KvEngine> {
+    DeviceConfig::builder()
+        .capacity_bytes(capacity)
+        .page_size(8 << 10)
+        .pages_per_block(32)
+        .engine(kind)
+        .key_len(key_len)
+        .build()
+        .build_engine()
+}
+
+fn fill(dev: &mut dyn KvEngine, spec: WorkloadSpec, keyspace: u64) {
+    warm_up(dev, spec, keyspace, 5).expect("fill");
+}
+
+/// AnyKey's core claim: level lists always fit DRAM, whatever the key
+/// size (paper Section 4.5 / Table 1).
+#[test]
+fn anykey_level_lists_stay_dram_resident_under_low_vk() {
+    let w = spec::by_name("Crypto1").unwrap(); // 76B keys > 50B values
+    let mut dev = device(EngineKind::AnyKey, w.key_len as u16, 64 << 20);
+    fill(dev.as_mut(), w, (24 << 20) / w.pair_bytes());
+    let m = dev.metadata();
+    assert!(m.level_list_bytes > 0);
+    assert_eq!(
+        m.level_list_flash_bytes, 0,
+        "AnyKey level lists must never spill to flash"
+    );
+    assert!(m.dram_used <= m.dram_capacity);
+}
+
+/// PinK's pathology: under low-v/k the per-pair metadata cannot fit DRAM
+/// and spills to flash (paper Section 3).
+#[test]
+fn pink_metadata_spills_under_low_vk() {
+    let w = spec::by_name("Crypto1").unwrap();
+    let mut dev = device(EngineKind::Pink, w.key_len as u16, 64 << 20);
+    fill(dev.as_mut(), w, (24 << 20) / w.pair_bytes());
+    let m = dev.metadata();
+    assert!(
+        m.meta_segment_flash_bytes > 10 * m.dram_capacity,
+        "PinK's meta segments should dwarf DRAM under low-v/k (flash {} vs DRAM {})",
+        m.meta_segment_flash_bytes,
+        m.dram_capacity
+    );
+}
+
+/// Figure 11b: AnyKey answers (almost) every GET with at most 2 flash
+/// reads plus rare collision/span extras; PinK needs several under
+/// low-v/k.
+#[test]
+fn anykey_needs_fewer_flash_reads_per_get_than_pink() {
+    let w = spec::by_name("ZippyDB").unwrap();
+    let keyspace = (24 << 20) / w.pair_bytes();
+    let mut means = Vec::new();
+    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+        let mut dev = device(kind, w.key_len as u16, 64 << 20);
+        fill(dev.as_mut(), w, keyspace);
+        let ops = anykey::workload::OpStreamBuilder::new(w, keyspace)
+            .write_ratio(0.2)
+            .seed(9)
+            .build();
+        let report = anykey::core::run(dev.as_mut(), ops, 50_000, 64).unwrap();
+        means.push(report.mean_reads_per_get());
+    }
+    assert!(
+        means[1] < means[0],
+        "AnyKey+ mean reads/GET {} must beat PinK {}",
+        means[1],
+        means[0]
+    );
+    assert!(means[1] < 3.0, "AnyKey+ should average <3 reads/GET");
+}
+
+/// Table 3's GC column: AnyKey's whole-group invalidation means victim
+/// blocks are erased without relocation traffic, while PinK reads victim
+/// blocks wholesale.
+#[test]
+fn anykey_gc_traffic_is_negligible() {
+    let w = spec::by_name("Cache15").unwrap();
+    let keyspace = (22 << 20) / w.pair_bytes();
+    let mut dev = device(EngineKind::AnyKeyPlus, w.key_len as u16, 64 << 20);
+    fill(dev.as_mut(), w, keyspace);
+    let ops = anykey::workload::OpStreamBuilder::new(w, keyspace)
+        .write_ratio(0.3)
+        .seed(17)
+        .build();
+    let report = anykey::core::run(dev.as_mut(), ops, 100_000, 64).unwrap();
+    let gc = report.counters.reads(OpCause::GcRead) + report.counters.writes(OpCause::GcWrite);
+    let compaction = report.counters.writes(OpCause::CompactionWrite).max(1);
+    assert!(
+        gc < compaction / 2,
+        "AnyKey GC traffic ({gc}) should be small next to compaction ({compaction})"
+    );
+}
+
+/// Unique-byte accounting is exact: what warm-up inserts is what the
+/// engine reports live.
+#[test]
+fn live_unique_bytes_match_inserted_data() {
+    let w = spec::by_name("Dedup").unwrap();
+    let keyspace = 50_000u64;
+    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+        let mut dev = device(kind, w.key_len as u16, 64 << 20);
+        fill(dev.as_mut(), w, keyspace);
+        assert_eq!(dev.metadata().live_unique_bytes, keyspace * w.pair_bytes());
+    }
+}
+
+/// Virtual time is monotone through a workload: completion never precedes
+/// issue, and horizons only grow.
+#[test]
+fn virtual_time_is_monotone() {
+    let mut dev = device(EngineKind::AnyKey, 20, 16 << 20);
+    let mut horizon = 0;
+    for id in 0..20_000u64 {
+        let out = dev.put(id, 60).unwrap();
+        assert!(out.done_at >= out.issued_at);
+        let h = dev.horizon();
+        assert!(h >= horizon, "horizon moved backwards");
+        horizon = h;
+    }
+}
+
+/// The Figure 14 mechanism at test scale: AnyKey+ fits more unique data
+/// than PinK before reporting full on a low-v/k workload.
+#[test]
+fn anykey_fits_more_unique_data_than_pink() {
+    let w = spec::by_name("RTDATA").unwrap(); // worst case for PinK: 24B/10B
+    let mut fits = Vec::new();
+    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+        let mut dev = device(kind, w.key_len as u16, 64 << 20);
+        let mut inserted = 0u64;
+        for op in anykey::workload::ops::fill_ops(w, (256 << 20) / w.pair_bytes(), 3) {
+            let at = dev.horizon();
+            match dev.execute(&op, at) {
+                Ok(_) => inserted += 1,
+                Err(_) => break,
+            }
+        }
+        fits.push(inserted);
+    }
+    assert!(
+        fits[1] > fits[0],
+        "AnyKey+ ({}) must fit more pairs than PinK ({})",
+        fits[1],
+        fits[0]
+    );
+}

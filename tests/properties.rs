@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) on core invariants.
+
+use std::collections::BTreeMap;
+
+use anykey::core::{hash::xxhash32, DeviceConfig, EngineKind, KvEngine};
+use anykey::metrics::LatencyHist;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u8),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u16>(), 1u8..=200).prop_map(|(k, v)| Action::Put(k % 800, v)),
+        any::<u16>().prop_map(|k| Action::Delete(k % 800)),
+        any::<u16>().prop_map(|k| Action::Get(k % 800)),
+        (any::<u16>(), 1u8..=12).prop_map(|(k, n)| Action::Scan(k % 800, n)),
+    ]
+}
+
+fn tiny_device(kind: EngineKind) -> Box<dyn KvEngine> {
+    DeviceConfig::builder()
+        .capacity_bytes(8 << 20)
+        .page_size(8 << 10)
+        .pages_per_block(16)
+        .group_pages(8)
+        .engine(kind)
+        .key_len(16)
+        .build()
+        .build_engine()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Get-after-put coherence and scan/oracle agreement for AnyKey+ under
+    /// arbitrary operation sequences.
+    #[test]
+    fn anykey_plus_is_coherent(actions in proptest::collection::vec(action(), 1..400)) {
+        let mut dev = tiny_device(EngineKind::AnyKeyPlus);
+        let mut oracle: BTreeMap<u64, u8> = BTreeMap::new();
+        for a in actions {
+            match a {
+                Action::Put(k, v) => {
+                    dev.put(k as u64, v as u32).unwrap();
+                    oracle.insert(k as u64, v);
+                }
+                Action::Delete(k) => {
+                    dev.delete(k as u64).unwrap();
+                    oracle.remove(&(k as u64));
+                }
+                Action::Get(k) => {
+                    prop_assert_eq!(dev.get(k as u64).found, oracle.contains_key(&(k as u64)));
+                }
+                Action::Scan(k, n) => {
+                    let at = dev.horizon();
+                    let (got, _) = dev.scan_keys(k as u64, n as u32, at);
+                    let want: Vec<u64> =
+                        oracle.range(k as u64..).take(n as usize).map(|(&x, _)| x).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    /// The same property for the PinK baseline.
+    #[test]
+    fn pink_is_coherent(actions in proptest::collection::vec(action(), 1..300)) {
+        let mut dev = tiny_device(EngineKind::Pink);
+        let mut oracle: BTreeMap<u64, u8> = BTreeMap::new();
+        for a in actions {
+            match a {
+                Action::Put(k, v) => {
+                    dev.put(k as u64, v as u32).unwrap();
+                    oracle.insert(k as u64, v);
+                }
+                Action::Delete(k) => {
+                    dev.delete(k as u64).unwrap();
+                    oracle.remove(&(k as u64));
+                }
+                Action::Get(k) => {
+                    prop_assert_eq!(dev.get(k as u64).found, oracle.contains_key(&(k as u64)));
+                }
+                Action::Scan(k, n) => {
+                    let at = dev.horizon();
+                    let (got, _) = dev.scan_keys(k as u64, n as u32, at);
+                    let want: Vec<u64> =
+                        oracle.range(k as u64..).take(n as usize).map(|(&x, _)| x).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    /// xxHash32 matches itself across chunked evaluation boundaries and
+    /// never varies with extra buffer capacity.
+    #[test]
+    fn xxhash_is_stable(data in proptest::collection::vec(any::<u8>(), 0..200), seed: u32) {
+        let h1 = xxhash32(&data, seed);
+        let mut padded = data.clone();
+        padded.push(0xFF);
+        let h2 = xxhash32(&padded[..data.len()], seed);
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// Histogram quantiles are order-consistent and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_are_ordered(samples in proptest::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = LatencyHist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let q50 = h.quantile(0.5);
+        let q95 = h.quantile(0.95);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q50 <= q95);
+        prop_assert!(q95 <= q99);
+        prop_assert!(q99 <= h.max());
+        prop_assert!(h.min() <= q50);
+    }
+
+    /// Quantile estimates stay within the histogram's designed relative
+    /// error (~3% per octave bucket).
+    #[test]
+    fn histogram_error_is_bounded(samples in proptest::collection::vec(32u64..1_000_000, 50..400)) {
+        let mut h = LatencyHist::new();
+        let mut sorted = samples.clone();
+        for &s in &samples {
+            h.record(s);
+        }
+        sorted.sort_unstable();
+        let exact = sorted[(0.95 * (sorted.len() - 1) as f64) as usize];
+        let est = h.quantile(0.95);
+        let rel = (est as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(rel < 0.10, "rel err {} (est {est}, exact {exact})", rel);
+    }
+}
