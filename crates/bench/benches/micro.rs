@@ -1,9 +1,17 @@
-//! Criterion micro-benchmarks for the hot controller-side primitives the
-//! simulator models: hashing (paper Section 4.6 measures 79 ns per key on a
+//! Micro-benchmarks for the hot controller-side primitives the simulator
+//! models: hashing (paper Section 4.6 measures 79 ns per key on a
 //! Cortex-A53), group construction (merge-sort + packing), level-list
 //! routing, hash-list membership, and Zipfian sampling.
+//!
+//! This is a self-contained wall-clock harness (`harness = false`) so the
+//! tier-1 verify needs no external benchmarking framework; the off-by-default
+//! `criterion` cargo feature is reserved for plugging the external harness
+//! back in where registry access is available. Wall-clock time is permitted
+//! here — the bench crate is measurement tooling, not part of the
+//! virtual-time simulation (which `xtask lint` keeps `std::time`-free).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use anykey_core::anykey::entity::{Entity, ValueLoc};
 use anykey_core::anykey::group::GroupContent;
@@ -11,10 +19,47 @@ use anykey_core::hash::xxhash32;
 use anykey_core::Key;
 use anykey_workload::{KeyDist, ZipfianGen};
 
+/// Times `f` over enough iterations to fill ~20 ms, repeats 5 times, and
+/// reports the median nanoseconds per iteration.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Calibrate the iteration count on a coarse warm-up pass.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 5 || iters >= 1 << 24 {
+            let target_ns = 20_000_000u128;
+            let per = (dt.as_nanos() / u128::from(iters)).max(1);
+            iters = u64::try_from(target_ns / per)
+                .unwrap_or(u64::MAX)
+                .clamp(1, 1 << 24);
+            break;
+        }
+        iters = iters.saturating_mul(8);
+    }
+    let mut runs: Vec<u128> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() / u128::from(iters)
+        })
+        .collect();
+    runs.sort_unstable();
+    println!(
+        "{name:<32} {:>10} ns/iter  ({iters} iters x 5 runs)",
+        runs[2]
+    );
+}
+
 fn entities(n: u64) -> Vec<Entity> {
     (0..n)
         .map(|id| {
-            let key = Key::new(id, 48).unwrap();
+            let key = Key::new(id, 48).expect("48-byte keys hold any id");
             Entity {
                 key,
                 hash: key.hash32(),
@@ -27,43 +72,46 @@ fn entities(n: u64) -> Vec<Entity> {
         .collect()
 }
 
-fn bench_hash(c: &mut Criterion) {
+fn bench_hash() {
     let key40 = [0x6Bu8; 40];
-    c.bench_function("xxhash32_40B_key", |b| {
-        b.iter(|| xxhash32(black_box(&key40), 0))
-    });
-    c.bench_function("key_synthesis_and_hash", |b| {
-        let mut id = 0u64;
-        b.iter(|| {
-            id = id.wrapping_add(1);
-            Key::new(id & 0xFFFF_FFFF, 40).unwrap().hash32()
-        })
+    bench("xxhash32_40B_key", || xxhash32(black_box(&key40), 0));
+    let mut id = 0u64;
+    bench("key_synthesis_and_hash", || {
+        id = id.wrapping_add(1);
+        Key::new(id & 0xFFFF_FFFF, 40)
+            .expect("40-byte keys hold any id")
+            .hash32()
     });
 }
 
-fn bench_group(c: &mut Criterion) {
+fn bench_group() {
     let ents = entities(2_000);
-    c.bench_function("group_build_2000_entities", |b| {
-        b.iter(|| GroupContent::build(black_box(ents.clone()), 8128))
+    bench("group_build_2000_entities", || {
+        GroupContent::build(black_box(ents.clone()), 8128)
     });
     let g = GroupContent::build(entities(2_000), 8128);
-    let probe = Key::new(1_234, 48).unwrap();
+    let probe = Key::new(1_234, 48).expect("48-byte keys hold any id");
     let h = probe.hash32();
-    c.bench_function("group_route_and_search", |b| {
-        b.iter(|| {
-            let p = g.route_page(black_box(h));
-            g.search_page(p, h, probe)
-        })
+    bench("group_route_and_search", || {
+        let p = g.route_page(black_box(h));
+        g.search_page(p, h, probe)
     });
-    c.bench_function("hash_list_membership", |b| {
-        b.iter(|| g.contains_hash(black_box(h)))
-    });
+    bench("hash_list_membership", || g.contains_hash(black_box(h)));
 }
 
-fn bench_zipfian(c: &mut Criterion) {
+fn bench_zipfian() {
     let mut z = ZipfianGen::new(1_000_000, KeyDist::Zipfian { theta: 0.99 }, 7);
-    c.bench_function("zipfian_sample", |b| b.iter(|| z.next_key()));
+    bench("zipfian_sample", || z.next_key());
 }
 
-criterion_group!(benches, bench_hash, bench_group, bench_zipfian);
-criterion_main!(benches);
+fn main() {
+    // `cargo test` invokes bench binaries to check they run; keep that path
+    // instant by only benchmarking when asked.
+    if std::env::args().any(|a| a == "--bench") {
+        bench_hash();
+        bench_group();
+        bench_zipfian();
+    } else {
+        println!("pass --bench to run the micro-benchmarks (cargo bench -p anykey-bench)");
+    }
+}

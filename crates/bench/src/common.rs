@@ -3,8 +3,8 @@
 
 use std::path::{Path, PathBuf};
 
-use anykey_core::{run, warm_up, DeviceConfig, EngineKind, MetadataStats, RunReport};
 use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
+use anykey_core::{run, warm_up, DeviceConfig, EngineKind, MetadataStats, RunReport};
 use anykey_metrics::report::fmt_ns;
 use anykey_metrics::{Csv, Table};
 use anykey_workload::{KeyDist, OpStreamBuilder, WorkloadSpec};
@@ -139,8 +139,7 @@ impl ExpCtx {
         // whole suite, retry with a slightly smaller keyspace.
         for shrink in [1.0, 0.85, 0.7, 0.5] {
             let mut dev = cfg.build_engine();
-            let keyspace =
-                ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
+            let keyspace = ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
             if warm_up(dev.as_mut(), spec, keyspace, self.scale.seed).is_err() {
                 continue;
             }
@@ -170,22 +169,19 @@ impl ExpCtx {
                 Err(_) => continue,
             }
         }
-        panic!("{} could not complete {} even at half keyspace", kind, spec.name);
+        panic!(
+            "{} could not complete {} even at half keyspace",
+            kind, spec.name
+        );
     }
 
     /// Runs a scan-centric variant (Figure 18): `scan_ratio` of requests
     /// are scans of `scan_len` keys.
-    pub fn run_scans(
-        &self,
-        kind: EngineKind,
-        spec: WorkloadSpec,
-        scan_len: u32,
-    ) -> Summary {
+    pub fn run_scans(&self, kind: EngineKind, spec: WorkloadSpec, scan_len: u32) -> Summary {
         let cfg = self.scale.device(kind, spec);
         for shrink in [1.0, 0.85, 0.7, 0.5] {
             let mut dev = cfg.build_engine();
-            let keyspace =
-                ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
+            let keyspace = ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
             if warm_up(dev.as_mut(), spec, keyspace, self.scale.seed).is_err() {
                 continue;
             }

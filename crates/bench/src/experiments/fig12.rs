@@ -14,7 +14,15 @@ use crate::common::{emit, kiops, ExpCtx};
 pub fn run(ctx: &ExpCtx) {
     let mut t = Table::new(
         "Figure 12: IOPS (virtual-time kIOPS)",
-        &["workload", "class", "PinK", "AnyKey", "AnyKey+", "AnyKey/PinK", "AnyKey+/PinK"],
+        &[
+            "workload",
+            "class",
+            "PinK",
+            "AnyKey",
+            "AnyKey+",
+            "AnyKey/PinK",
+            "AnyKey+/PinK",
+        ],
     );
     let mut low_gain = Vec::new();
     let mut high_gain_plus = Vec::new();

@@ -13,7 +13,11 @@ use crate::common::{emit, lat, ExpCtx};
 
 const WORKLOADS: [&str; 3] = ["Crypto1", "ETC", "W-PinK"];
 /// (page size, pages per block) — block size held at 1 MiB.
-const PAGES: [(u32, u32, &str); 3] = [(4 << 10, 256, "4KB"), (8 << 10, 128, "8KB"), (16 << 10, 64, "16KB")];
+const PAGES: [(u32, u32, &str); 3] = [
+    (4 << 10, 256, "4KB"),
+    (8 << 10, 128, "8KB"),
+    (16 << 10, 64, "16KB"),
+];
 
 /// Runs the experiment.
 pub fn run(ctx: &ExpCtx) {

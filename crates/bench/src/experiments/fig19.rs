@@ -38,7 +38,13 @@ pub fn run(ctx: &ExpCtx) {
                 .key_len(w.key_len as u16)
                 .value_log_bytes((ctx.scale.capacity as f64 * frac) as u64)
                 .build();
-            let s = ctx.run_with(EngineKind::AnyKeyPlus, w, KeyDist::default(), 0.2, Some(cfg));
+            let s = ctx.run_with(
+                EngineKind::AnyKeyPlus,
+                w,
+                KeyDist::default(),
+                0.2,
+                Some(cfg),
+            );
             ra.push(kiops(s.report.iops()));
             rb.push(fmt_count(s.report.counters.total_writes()));
         }

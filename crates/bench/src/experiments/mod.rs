@@ -1,29 +1,58 @@
 //! One module per paper table/figure. Each exposes
 //! `pub fn run(ctx: &ExpCtx)`.
 
+/// Figure 10: throughput across the Table 1 workloads.
 pub mod fig10;
+/// Figure 11: read/write latency distributions.
 pub mod fig11;
+/// Figure 12: flash reads per GET.
 pub mod fig12;
+/// Figure 13: total page writes per engine.
 pub mod fig13;
+/// Figure 14: DRAM hit behaviour under varying budgets.
 pub mod fig14;
+/// Figure 15: scan throughput.
 pub mod fig15;
+/// Figure 16: sensitivity to value/key ratio.
 pub mod fig16;
+/// Figure 17: AnyKey+ log-relief comparison.
 pub mod fig17;
+/// Figure 18: tail latency under mixed load.
 pub mod fig18;
+/// Figure 19: capacity-utilisation sweep.
 pub mod fig19;
+/// Figure 2: motivating metadata-size comparison.
 pub mod fig2;
-pub mod probe;
+/// Multi-tenant workload mix experiment.
 pub mod multitenant;
+/// Diagnostic probe runs (not a paper figure).
+pub mod probe;
+/// Device-size scalability sweep.
 pub mod scalability;
+/// Table 1: workload characteristics.
 pub mod table1;
+/// Table 3: compaction/GC flash traffic.
 pub mod table3;
 
 use crate::common::ExpCtx;
 
 /// All experiment ids in paper order.
 pub const ALL: [&str; 15] = [
-    "table1", "fig2", "table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "scalability", "multitenant",
+    "table1",
+    "fig2",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "scalability",
+    "multitenant",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.

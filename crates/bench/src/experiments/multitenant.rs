@@ -27,7 +27,10 @@ pub fn run(ctx: &ExpCtx) {
     for name in ["W-PinK", "ZippyDB"] {
         let w = spec::by_name(name).expect("multitenant workload");
         let mut p95 = [0u64; 2];
-        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus].into_iter().enumerate() {
+        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus]
+            .into_iter()
+            .enumerate()
+        {
             // Half-capacity partitions need proportionally smaller erase
             // blocks to keep one block per chip.
             let cfg = DeviceConfig::builder()

@@ -47,11 +47,22 @@ pub fn run(ctx: &ExpCtx) {
     }
     let s = ctx.run_standard(kind, w);
     println!("workload={} system={}", s.workload, s.system);
-    println!("ops={} found={} notfound={}", s.report.ops, s.report.found, s.report.not_found);
-    println!("virtual span: {:.3}s  IOPS={:.0}", (s.report.end - s.report.start) as f64 / 1e9, s.report.iops());
+    println!(
+        "ops={} found={} notfound={}",
+        s.report.ops, s.report.found, s.report.not_found
+    );
+    println!(
+        "virtual span: {:.3}s  IOPS={:.0}",
+        (s.report.end - s.report.start) as f64 / 1e9,
+        s.report.iops()
+    );
     println!("reads : {}", s.report.reads);
     println!("writes: {}", s.report.writes);
-    println!("reads/GET histogram: {:?} mean={:.2}", s.report.reads_per_get, s.report.mean_reads_per_get());
+    println!(
+        "reads/GET histogram: {:?} mean={:.2}",
+        s.report.reads_per_get,
+        s.report.mean_reads_per_get()
+    );
     println!("counters:\n{}", s.report.counters);
     println!("meta: {:#?}", s.meta);
 }

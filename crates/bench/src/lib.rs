@@ -11,7 +11,10 @@
 //! workspace root; tables print to stdout and CSV series land in
 //! `results/`.
 
+/// Shared experiment context, scaling, and summaries.
 pub mod common;
+/// One module per reproduced paper table/figure.
 pub mod experiments;
 
+/// Experiment context and result summary types.
 pub use common::{ExpCtx, Scale, Summary};

@@ -47,12 +47,17 @@ fn main() {
             }
             "--fill" => {
                 i += 1;
-                scale.fill = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                scale.fill = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--ops-factor" => {
                 i += 1;
-                scale.ops_factor =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                scale.ops_factor = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--out" => {
                 i += 1;
@@ -60,7 +65,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                scale.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                scale.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--quick" => scale = scale.clone().quick(),
             id if !id.starts_with('-') => ids.push(id.to_string()),

@@ -46,12 +46,7 @@ impl AnyKeyStore {
         let need = self.buffer.pending_value_bytes();
         if self.log.is_some() && need > 0 {
             let mut rounds = 0usize;
-            while self
-                .log
-                .as_ref()
-                .expect("checked above")
-                .would_overflow(need)
-            {
+            while self.log.as_ref().is_some_and(|l| l.would_overflow(need)) {
                 rounds += 1;
                 if rounds > self.levels.len() + 2 {
                     self.debug_full("log relief made no progress");
@@ -69,16 +64,13 @@ impl AnyKeyStore {
         let mut ents = Vec::with_capacity(entries.len());
         let mut t_log = t;
         for (key, be) in entries {
-            let loc = if !be.tombstone && be.value_len > 0 && self.log.is_some() {
-                let (ptr, done) =
-                    self.log
-                        .as_mut()
-                        .expect("checked")
-                        .append(&mut self.flash, be.value_len, t)?;
-                t_log = t_log.max(done);
-                ValueLoc::Logged(ptr)
-            } else {
-                ValueLoc::Inline
+            let loc = match self.log.as_mut() {
+                Some(log) if !be.tombstone && be.value_len > 0 => {
+                    let (ptr, done) = log.append(&mut self.flash, be.value_len, t)?;
+                    t_log = t_log.max(done);
+                    ValueLoc::Logged(ptr)
+                }
+                _ => ValueLoc::Inline,
             };
             ents.push(Entity {
                 key,
@@ -95,6 +87,8 @@ impl AnyKeyStore {
         // the background queues), but the buffer is available again once
         // the L0->L1 merge lands.
         self.maintain(t_ack)?;
+        #[cfg(any(test, feature = "strict-invariants"))]
+        self.verify_invariants()?;
         Ok(t_ack)
     }
 
@@ -153,22 +147,24 @@ impl AnyKeyStore {
             for li in (0..self.levels.len()).rev() {
                 if self.levels[li].logged_bytes > 0 {
                     t = self.inline_rewrite_level(li, t)?;
-                    let (_, tr) = self
-                        .log
-                        .as_mut()
-                        .expect("log-triggered compaction requires a log")
-                        .reclaim(&mut self.flash, t);
+                    let log = self.log.as_mut().ok_or(KvError::Internal {
+                        context: "log-triggered compaction requires a log",
+                    })?;
+                    let (_, tr) = log.reclaim(&mut self.flash, t);
                     t = tr;
                     // Deep levels own the oldest log blocks; stop as soon
                     // as enough space is free so the hot upper-level
                     // values can keep dying in the log instead of being
                     // inlined and re-copied by every tree merge.
-                    if self.log.as_ref().expect("checked").free_bytes() >= goal {
+                    if self.log.as_ref().is_some_and(|l| l.free_bytes() >= goal) {
                         break;
                     }
                 }
             }
-            return self.maintain(t);
+            let done = self.maintain(t)?;
+            #[cfg(any(test, feature = "strict-invariants"))]
+            self.verify_invariants()?;
+            return Ok(done);
         }
         let pick = if self.is_plus() {
             // AnyKey+ targets reclaimable log space (Section 4.7): the dead
@@ -240,19 +236,17 @@ impl AnyKeyStore {
             // level (the compaction-chain case); escalated rounds inline
             // everything.
             let policy = if self.is_plus() && !escalate {
-                let budget =
-                    (self.cfg.theta * self.levels[src + 1].threshold as f64) as u64;
+                let budget = (self.cfg.theta * self.levels[src + 1].threshold as f64) as u64;
                 InlinePolicy::InlineUntil(budget)
             } else {
                 InlinePolicy::InlineAll
             };
             self.compact(Source::Level(src), src + 1, policy, at)?
         };
-        let (freed, t) = self
-            .log
-            .as_mut()
-            .expect("log-triggered compaction requires a log")
-            .reclaim(&mut self.flash, t);
+        let log = self.log.as_mut().ok_or(KvError::Internal {
+            context: "log-triggered compaction requires a log",
+        })?;
+        let (freed, t) = log.reclaim(&mut self.flash, t);
         if std::env::var("ANYKEY_DEBUG").is_ok() {
             eprintln!(
                 "log-triggered: src={src} last={last} escalate={escalate} freed={}KB log_free={}KB levels={}",
@@ -265,7 +259,10 @@ impl AnyKeyStore {
         // threshold, immediately triggering a tree compaction — the
         // "compaction chain" of Figure 9a. AnyKey+'s θ cap makes this a
         // no-op.
-        self.maintain(t)
+        let done = self.maintain(t)?;
+        #[cfg(any(test, feature = "strict-invariants"))]
+        self.verify_invariants()?;
+        Ok(done)
     }
 
     /// Rewrites, in place, every group of level `li` that references the
@@ -308,7 +305,9 @@ impl AnyKeyStore {
                 if let ValueLoc::Logged(ptr) = e.loc {
                     self.log
                         .as_mut()
-                        .expect("logged value without a log")
+                        .ok_or(KvError::Internal {
+                            context: "logged value without a log",
+                        })?
                         .invalidate(ptr, e.value_len as u64);
                     e.loc = ValueLoc::Inline;
                 }
@@ -316,20 +315,19 @@ impl AnyKeyStore {
             count += ents.len() as u64;
             let pages = g.content.total_pages();
             runs.push(ents);
-            if self.area.release(g.first_ppa.block, pages) {
-                t_erase =
-                    t_erase.max(self.area.erase_empty(&mut self.flash, g.first_ppa.block, t_read));
+            if self.area.release(g.first_ppa.block, pages)? {
+                t_erase = t_erase.max(self.area.erase_empty(
+                    &mut self.flash,
+                    g.first_ppa.block,
+                    t_read,
+                ));
             }
         }
 
         // Pass 3: rebuild and place.
         let mut write_ppas: Vec<Ppa> = Vec::new();
         for ents in runs {
-            for c in pack_groups(
-                ents,
-                self.page_payload,
-                self.cfg.group_pages.max(2),
-            ) {
+            for c in pack_groups(ents, self.page_payload, self.cfg.group_pages.max(2)) {
                 let ppa = self.area.place(c.total_pages())?;
                 write_ppas.extend((0..c.total_pages()).map(|i| ppa.offset(i)));
                 out.push(Group::new(c, ppa));
@@ -368,8 +366,7 @@ impl AnyKeyStore {
                 (bytes / self.flash.geometry().block_bytes()) as usize + 2
             }
             Source::Level(si) => {
-                (self.levels[*si].logged_bytes / self.flash.geometry().block_bytes()) as usize
-                    + 2
+                (self.levels[*si].logged_bytes / self.flash.geometry().block_bytes()) as usize + 2
             }
         };
         let at = self.gc_for_headroom(at, growth_blocks)?.max(at);
@@ -412,8 +409,8 @@ impl AnyKeyStore {
         let is_bottom = self.levels[dst + 1..].iter().all(Level::is_empty);
         let mut discarded_logged = 0u64;
         let invalidate = |store_log: &mut Option<crate::anykey::valuelog::ValueLog>,
-                              e: &Entity,
-                              discarded: &mut u64| {
+                          e: &Entity,
+                          discarded: &mut u64| {
             if let ValueLoc::Logged(ptr) = e.loc {
                 if let Some(log) = store_log.as_mut() {
                     log.invalidate(ptr, e.value_len as u64);
@@ -430,7 +427,9 @@ impl AnyKeyStore {
                     (Some(u), Some(l)) => {
                         if u.key == l.key {
                             // Newest wins; the lower copy dies here.
-                            let dead = li.next().expect("peeked");
+                            let dead = li.next().ok_or(KvError::Internal {
+                                context: "peeked merge entry vanished",
+                            })?;
                             invalidate(&mut self.log, &dead, &mut discarded_logged);
                             true
                         } else {
@@ -442,9 +441,13 @@ impl AnyKeyStore {
                     (None, None) => break,
                 };
                 let e = if take_upper {
-                    ui.next().expect("peeked")
+                    ui.next().ok_or(KvError::Internal {
+                        context: "peeked merge entry vanished",
+                    })?
                 } else {
-                    li.next().expect("peeked")
+                    li.next().ok_or(KvError::Internal {
+                        context: "peeked merge entry vanished",
+                    })?
                 };
                 if e.tombstone && is_bottom {
                     continue; // nothing below to shadow
@@ -461,11 +464,12 @@ impl AnyKeyStore {
             InlinePolicy::InlineAll => {
                 for e in &mut merged {
                     if let ValueLoc::Logged(ptr) = e.loc {
-                        log_read_ppas
-                            .extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                        log_read_ppas.extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
                         self.log
                             .as_mut()
-                            .expect("logged value without a log")
+                            .ok_or(KvError::Internal {
+                                context: "logged value without a log",
+                            })?
                             .invalidate(ptr, e.value_len as u64);
                         e.loc = ValueLoc::Inline;
                     }
@@ -478,18 +482,21 @@ impl AnyKeyStore {
                 for e in &mut merged {
                     if let ValueLoc::Logged(ptr) = e.loc {
                         if phys < budget {
-                            log_read_ppas
-                                .extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
+                            log_read_ppas.extend(crate::anykey::valuelog::ValueLog::ptr_pages(ptr));
                             self.log
                                 .as_mut()
-                                .expect("logged value without a log")
+                                .ok_or(KvError::Internal {
+                                    context: "logged value without a log",
+                                })?
                                 .invalidate(ptr, e.value_len as u64);
                             e.loc = ValueLoc::Inline;
                         } else {
                             // Write the value back to the log head so the
                             // old block can still be reclaimed; keep the
                             // old pointer if the log has no room.
-                            let log = self.log.as_mut().expect("logged value without a log");
+                            let log = self.log.as_mut().ok_or(KvError::Internal {
+                                context: "logged value without a log",
+                            })?;
                             if let Ok((new_ptr, done)) =
                                 log.append(&mut self.flash, e.value_len, t_read)
                             {
@@ -516,28 +523,29 @@ impl AnyKeyStore {
 
         // --- 4. Free the source blocks before writing output. ----------
         let mut t_erase = t_inputs;
-        let free_groups = |store: &mut AnyKeyStore, groups: Vec<Group>, t: Ns| -> Ns {
-            let mut done = t;
-            for g in groups {
-                let pages = g.content.total_pages();
-                if store.area.release(g.first_ppa.block, pages) {
-                    done = done.max(store.area.erase_empty(&mut store.flash, g.first_ppa.block, t));
+        let free_groups =
+            |store: &mut AnyKeyStore, groups: Vec<Group>, t: Ns| -> Result<Ns, KvError> {
+                let mut done = t;
+                for g in groups {
+                    let pages = g.content.total_pages();
+                    if store.area.release(g.first_ppa.block, pages)? {
+                        done = done.max(store.area.erase_empty(
+                            &mut store.flash,
+                            g.first_ppa.block,
+                            t,
+                        ));
+                    }
                 }
-            }
-            done
-        };
+                Ok(done)
+            };
         if let Some(groups) = src_groups {
-            t_erase = t_erase.max(free_groups(self, groups, t_inputs));
+            t_erase = t_erase.max(free_groups(self, groups, t_inputs)?);
         }
-        t_erase = t_erase.max(free_groups(self, dst_groups, t_inputs));
+        t_erase = t_erase.max(free_groups(self, dst_groups, t_inputs)?);
 
         // --- 5. Build and place the new groups. ------------------------
         let merged_count = merged.len() as u64;
-        let contents = pack_groups(
-            merged,
-            self.page_payload,
-            self.cfg.group_pages.max(2),
-        );
+        let contents = pack_groups(merged, self.page_payload, self.cfg.group_pages.max(2));
         let mut write_ppas: Vec<Ppa> = Vec::new();
         let mut new_groups = Vec::with_capacity(contents.len());
         for c in contents {

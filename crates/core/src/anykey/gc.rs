@@ -78,15 +78,20 @@ impl GroupArea {
 
     /// Marks one `pages`-page group of `block` invalid; returns `true`
     /// when the block is now empty and sealed (ready to erase).
-    pub fn release(&mut self, block: BlockId, pages: u32) -> bool {
-        let e = self
-            .valid
-            .get_mut(&block)
-            .expect("released block must be tracked");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UntrackedBlock`] when `block` is not tracked by
+    /// the area — a released group must have been placed here.
+    pub fn release(&mut self, block: BlockId, pages: u32) -> Result<bool, KvError> {
+        let e = self.valid.get_mut(&block).ok_or(KvError::UntrackedBlock {
+            block: block.0,
+            owner: "group area",
+        })?;
         debug_assert!(e.0 > 0, "group count underflow on {block}");
         e.0 -= 1;
         e.1 = e.1.saturating_sub(pages);
-        e.0 == 0 && self.open.map(|(b, _)| b) != Some(block)
+        Ok(e.0 == 0 && self.open.map(|(b, _)| b) != Some(block))
     }
 
     /// Erases and frees a block that [`Self::release`] reported empty.
@@ -113,6 +118,16 @@ impl GroupArea {
     /// Number of valid groups tracked for `block` (testing/diagnostics).
     pub fn valid_in(&self, block: BlockId) -> u32 {
         self.valid.get(&block).map(|e| e.0).unwrap_or(0)
+    }
+
+    /// The first block claiming more valid pages than an erase block
+    /// holds, as `(block id, valid pages, pages per block)` — `None` on a
+    /// healthy area. Used by the invariant auditor.
+    pub fn first_overfull_block(&self) -> Option<(u32, u32, u32)> {
+        self.valid
+            .iter()
+            .find(|(_, &(_, pages))| pages > self.pages_per_block)
+            .map(|(&b, &(_, pages))| (b.0, pages, self.pages_per_block))
     }
 }
 
@@ -203,12 +218,13 @@ impl AnyKeyStore {
                     .program_many(write_ppas, OpCause::GcWrite, t_read),
             );
             self.levels[li].groups[gi].first_ppa = new_ppa;
-            if self.area.release(victim, pages) {
-                // Deferred: erased below once all groups are out.
-            }
+            // Deferred: the victim is erased below once all groups are out.
+            self.area.release(victim, pages)?;
         }
         debug_assert_eq!(self.area.valid_in(victim), 0);
         done = done.max(self.area.erase_empty(&mut self.flash, victim, done));
+        #[cfg(any(test, feature = "strict-invariants"))]
+        self.verify_invariants()?;
         Ok(done)
     }
 }
@@ -240,7 +256,10 @@ mod tests {
     fn release_reports_empty_only_when_sealed() {
         let mut a = area(3);
         let p = a.place(33).unwrap();
-        assert!(!a.release(p.block, 33), "open block must not be erased");
+        assert!(
+            !a.release(p.block, 33).unwrap(),
+            "open block must not be erased"
+        );
         let q = a.place(128).unwrap(); // forces a new block, sealing p's
         assert_ne!(p.block, q.block);
     }
@@ -250,7 +269,7 @@ mod tests {
         let mut a = area(2);
         let p = a.place(33).unwrap();
         a.seal();
-        assert!(a.release(p.block, 33));
+        assert!(a.release(p.block, 33).unwrap());
     }
 
     #[test]
@@ -264,7 +283,7 @@ mod tests {
         assert_eq!(a.victim().unwrap().0, q.block);
         // Releasing one group from p1's block drops it to 64 pages: tie;
         // lowest block id wins.
-        a.release(p1.block, 64);
+        a.release(p1.block, 64).unwrap();
         let (v, pages) = a.victim().unwrap();
         assert_eq!(pages, 64);
         assert_eq!(v, p1.block.min(q.block));

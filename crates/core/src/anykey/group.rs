@@ -202,7 +202,9 @@ impl GroupContent {
 
     /// The group's largest key.
     pub fn largest(&self) -> Key {
-        let (p, s) = *self.dir.last().expect("group is non-empty");
+        // `build` rejects empty groups, so the fallback index is dead; it
+        // only avoids a panic path in release builds.
+        let (p, s) = self.dir.last().copied().unwrap_or((0, 0));
         self.entity(p, s).key
     }
 
@@ -291,11 +293,7 @@ impl Group {
 /// most `max_total_pages` flash pages (directory pages included) of
 /// `payload` usable bytes, so groups tile erase blocks without structural
 /// waste.
-pub fn pack_groups(
-    entities: Vec<Entity>,
-    payload: u64,
-    max_total_pages: u32,
-) -> Vec<GroupContent> {
+pub fn pack_groups(entities: Vec<Entity>, payload: u64, max_total_pages: u32) -> Vec<GroupContent> {
     let mut out = Vec::new();
     let mut chunk: Vec<Entity> = Vec::new();
     let mut bytes = 0u64;

@@ -39,9 +39,7 @@ impl Level {
     /// contains `key` — what the DRAM level-list search yields. `None` when
     /// the key precedes the first group (or the level is empty).
     pub fn candidate(&self, key: Key) -> Option<usize> {
-        let idx = self
-            .groups
-            .partition_point(|g| g.content.smallest() <= key);
+        let idx = self.groups.partition_point(|g| g.content.smallest() <= key);
         idx.checked_sub(1)
     }
 

@@ -1,10 +1,16 @@
 //! The AnyKey engine (paper Sections 4.1–4.7).
 
+/// Flush and tree/log-triggered compaction.
 pub mod compaction;
+/// Entities: key, hash, and value location.
 pub mod entity;
+/// Group-area block management and GC.
 pub mod gc;
+/// Data segment groups and their directories.
 pub mod group;
+/// LSM levels over data segment groups.
 pub mod level;
+/// The circular value log.
 pub mod valuelog;
 
 #[cfg(test)]
@@ -15,6 +21,7 @@ use std::collections::HashMap;
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
 use anykey_workload::Op;
 
+use crate::audit::AuditError;
 use crate::buffer::{BufEntry, WriteBuffer};
 use crate::config::{DeviceConfig, EngineKind};
 use crate::dram::DramBudget;
@@ -80,7 +87,10 @@ impl AnyKeyStore {
                 geometry.pages_per_block,
             )
         });
-        let dram = DramBudget::new(cfg.dram_bytes, cfg.write_buffer_bytes.min(cfg.dram_bytes / 2));
+        let dram = DramBudget::new(
+            cfg.dram_bytes,
+            cfg.write_buffer_bytes.min(cfg.dram_bytes / 2),
+        );
         Self {
             buffer: WriteBuffer::new(cfg.write_buffer_bytes),
             levels: vec![Level::new(cfg.write_buffer_bytes * cfg.level_ratio)],
@@ -135,7 +145,13 @@ impl AnyKeyStore {
         None
     }
 
-    fn do_put(&mut self, id: u64, value_len: u32, tombstone: bool, at: Ns) -> Result<OpOutcome, KvError> {
+    fn do_put(
+        &mut self,
+        id: u64,
+        value_len: u32,
+        tombstone: bool,
+        at: Ns,
+    ) -> Result<OpOutcome, KvError> {
         let key = self.make_key(id)?;
         // Invalid-log accounting: the version this put supersedes (if any,
         // and not still in the buffer) leaves dead value bytes in the log.
@@ -249,7 +265,9 @@ impl AnyKeyStore {
                         ValueLoc::Inline => t,
                         ValueLoc::Logged(ptr) => {
                             reads += ptr.pages as u32;
-                            let log = self.log.as_ref().expect("logged value without a log");
+                            let log = self.log.as_ref().ok_or(KvError::Internal {
+                                context: "logged value without a log",
+                            })?;
                             log.read_value(&mut self.flash, ptr, OpCause::LogRead, t)
                         }
                     };
@@ -277,7 +295,12 @@ impl AnyKeyStore {
         })
     }
 
-    fn do_scan(&mut self, start_id: u64, len: u32, at: Ns) -> Result<(Vec<u64>, OpOutcome), KvError> {
+    fn do_scan(
+        &mut self,
+        start_id: u64,
+        len: u32,
+        at: Ns,
+    ) -> Result<(Vec<u64>, OpOutcome), KvError> {
         let start = self.make_key(start_id)?;
         let want = len as usize;
 
@@ -407,7 +430,9 @@ impl AnyKeyStore {
                 }
                 let mut tombstone = None;
                 if next_buf_key == Some(key) {
-                    let (_, e) = buf_iter.next().expect("peeked");
+                    let (_, e) = buf_iter.next().ok_or(KvError::Internal {
+                        context: "peeked buffer entry vanished mid-scan",
+                    })?;
                     tombstone = Some(e.tombstone);
                 }
                 // Take the newest level candidate for this key; skip the
@@ -420,8 +445,8 @@ impl AnyKeyStore {
                     }
                 }
                 match tombstone {
-                    Some(true) => {}                            // deleted in buffer
-                    Some(false) => chosen.push((key, None)),    // value in DRAM
+                    Some(true) => {}                         // deleted in buffer
+                    Some(false) => chosen.push((key, None)), // value in DRAM
                     None => match newest {
                         Some(c) if c.tombstone => {}
                         Some(c) => chosen.push((key, Some(c))),
@@ -534,8 +559,19 @@ impl KvEngine for AnyKeyStore {
     }
 
     fn scan_keys(&mut self, start: u64, len: u32, at: Ns) -> (Vec<u64>, OpOutcome) {
-        self.do_scan(start, len, at)
-            .expect("scan cannot fail for well-formed keys")
+        // An ill-formed start key cannot match any stored key, so the scan
+        // is empty rather than a panic.
+        self.do_scan(start, len, at).unwrap_or_else(|_| {
+            (
+                Vec::new(),
+                OpOutcome {
+                    issued_at: at,
+                    done_at: at,
+                    found: false,
+                    flash_reads: 0,
+                },
+            )
+        })
     }
 
     fn metadata(&self) -> MetadataStats {
@@ -586,5 +622,9 @@ impl KvEngine for AnyKeyStore {
 
     fn capacity_bytes(&self) -> u64 {
         self.cfg.capacity_bytes()
+    }
+
+    fn check_invariants(&self) -> Result<(), AuditError> {
+        self.verify_invariants()
     }
 }

@@ -43,7 +43,10 @@ fn hash_lists_cover_top_levels_first() {
         flags[first_miss..].iter().all(|&r| !r),
         "hash-list residency must be a strict top-down prefix"
     );
-    assert!(!s.level_list_overflowed(), "level lists must always fit DRAM");
+    assert!(
+        !s.level_list_overflowed(),
+        "level lists must always fit DRAM"
+    );
 }
 
 #[test]

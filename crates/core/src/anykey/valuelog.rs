@@ -185,7 +185,10 @@ impl ValueLog {
         self.open = Some(o);
         self.blocks
             .get_mut(&o.id)
-            .expect("open block is tracked")
+            .ok_or(KvError::UntrackedBlock {
+                block: o.id.0,
+                owner: "value log",
+            })?
             .valid_bytes += len;
         // Block exhausted: seal it so reclaim can consider it.
         if o.next_page == self.pages_per_block {
@@ -245,6 +248,17 @@ impl ValueLog {
     /// Number of blocks in the log region.
     pub fn block_count(&self) -> usize {
         self.alloc.len()
+    }
+
+    /// The first block whose tracked valid bytes exceed the erase-block
+    /// payload, as `(block id, valid bytes, payload)` — `None` on a
+    /// healthy log. Used by the invariant auditor.
+    pub fn first_overfull_block(&self) -> Option<(u32, u64, u64)> {
+        let payload = self.block_payload();
+        self.blocks
+            .iter()
+            .find(|(_, s)| s.valid_bytes > payload)
+            .map(|(&id, s)| (id.0, s.valid_bytes, payload))
     }
 }
 
@@ -330,12 +344,7 @@ mod tests {
             }
         }
         // Push the open block to seal by continuing to append.
-        while log
-            .blocks
-            .get(&first)
-            .map(|b| !b.sealed)
-            .unwrap_or(false)
-        {
+        while log.blocks.get(&first).map(|b| !b.sealed).unwrap_or(false) {
             ptrs.push(log.append(&mut flash, 4000, 0).unwrap().0);
         }
         let (freed, _) = log.reclaim(&mut flash, 0);

@@ -1,0 +1,514 @@
+//! Runtime invariant auditing.
+//!
+//! Both engines expose [`crate::KvEngine::check_invariants`], a single pass
+//! over their in-DRAM metadata that verifies the structural invariants the
+//! simulation's correctness rests on:
+//!
+//! * **Level ordering** — groups (AnyKey) and meta segments (PinK) within a
+//!   level are key-sorted with disjoint ranges, and every group directory /
+//!   segment entry list is itself sorted.
+//! * **DRAM conservation** — [`crate::dram::DramBudget::metadata_used`]
+//!   equals the byte sum of the structures currently marked DRAM-resident
+//!   and never exceeds the metadata budget.
+//! * **Value-log accounting** — the log's live bytes equal the logged bytes
+//!   referenced by the levels, and no log block claims more valid bytes
+//!   than an erase block holds.
+//! * **Counter conservation** — the flash counters' per-cause ledgers sum
+//!   to their independent totals ([`anykey_flash::FlashCounters::audit`]).
+//! * **Block accounting** — no group-area block claims more valid pages
+//!   than an erase block holds.
+//!
+//! The engines invoke the audit automatically at flush / compaction / GC
+//! boundaries in test builds and under the `strict-invariants` cargo
+//! feature; release builds pay nothing unless the feature is enabled. The
+//! corruption hooks at the bottom of this module exist solely so the
+//! negative-path integration tests can prove each check actually fires.
+
+use std::error::Error;
+use std::fmt;
+
+use anykey_flash::CounterSkew;
+
+use crate::anykey::level::Level;
+use crate::anykey::AnyKeyStore;
+use crate::pink::PinkStore;
+
+/// A violated structural invariant, naming the structure and the observed
+/// vs expected values. Each variant has a distinct diagnostic so a failing
+/// audit immediately identifies which bookkeeping went wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditError {
+    /// Adjacent groups or segments of a level are out of key order, or
+    /// their key ranges overlap.
+    LevelOrder {
+        /// The level holding the offending pair.
+        level: usize,
+        /// Index of the first group/segment of the out-of-order pair.
+        index: usize,
+    },
+    /// A group's key-sorted directory (or a segment's entry list) is not
+    /// strictly sorted.
+    DirectoryOrder {
+        /// The level holding the group/segment.
+        level: usize,
+        /// The group/segment index within the level.
+        group: usize,
+    },
+    /// A group's per-page 16-bit routing hash prefixes are not sorted, so
+    /// [`crate::anykey::group::GroupContent::route_page`] would misroute.
+    RoutingOrder {
+        /// The level holding the group.
+        level: usize,
+        /// The group index within the level.
+        group: usize,
+    },
+    /// `metadata_used` does not equal the byte sum of the structures
+    /// currently marked DRAM-resident.
+    DramMismatch {
+        /// The budget's claimed byte count.
+        used: u64,
+        /// The byte sum of the resident structures.
+        expected: u64,
+    },
+    /// Resident metadata exceeds the metadata budget.
+    DramOverBudget {
+        /// The budget's claimed byte count.
+        used: u64,
+        /// The metadata budget (capacity minus write-buffer reservation).
+        budget: u64,
+    },
+    /// The value log's live bytes diverged from the logged bytes the
+    /// levels reference.
+    LogBytesMismatch {
+        /// Live bytes tracked by the value log.
+        log: u64,
+        /// Logged bytes summed over the levels' groups.
+        levels: u64,
+    },
+    /// A value-log block claims more valid bytes than an erase block
+    /// holds.
+    LogBlockOverfull {
+        /// The offending global block id.
+        block: u32,
+        /// Valid bytes the block claims.
+        valid: u64,
+        /// Payload bytes an erase block actually holds.
+        payload: u64,
+    },
+    /// A group-area block claims more valid pages than an erase block
+    /// holds.
+    BlockOverfull {
+        /// The offending global block id.
+        block: u32,
+        /// Valid pages the block claims.
+        pages: u32,
+        /// Pages an erase block actually holds.
+        pages_per_block: u32,
+    },
+    /// A flash per-cause counter ledger no longer sums to its independent
+    /// total (see [`anykey_flash::FlashCounters::audit`]).
+    CounterSkew {
+        /// Which ledger diverged: `"reads"` or `"writes"`.
+        ledger: &'static str,
+        /// Sum over the per-cause entries.
+        per_cause_sum: u64,
+        /// The independently maintained grand total.
+        total: u64,
+    },
+    /// A structure marked as spilled to flash has no flash location.
+    MissingSpillLocation {
+        /// The level holding the structure.
+        level: usize,
+        /// The structure's index within the level.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::LevelOrder { level, index } => write!(
+                f,
+                "level {level} is out of key order at index {index}: ranges must be sorted and disjoint"
+            ),
+            AuditError::DirectoryOrder { level, group } => write!(
+                f,
+                "group {group} of level {level} has an unsorted key directory"
+            ),
+            AuditError::RoutingOrder { level, group } => write!(
+                f,
+                "group {group} of level {level} has unsorted page-routing hash prefixes"
+            ),
+            AuditError::DramMismatch { used, expected } => write!(
+                f,
+                "DRAM accounting skew: metadata_used is {used} but resident structures total {expected}"
+            ),
+            AuditError::DramOverBudget { used, budget } => write!(
+                f,
+                "DRAM over budget: metadata_used {used} exceeds the {budget}-byte metadata budget"
+            ),
+            AuditError::LogBytesMismatch { log, levels } => write!(
+                f,
+                "value-log live bytes {log} diverged from the {levels} logged bytes the levels reference"
+            ),
+            AuditError::LogBlockOverfull {
+                block,
+                valid,
+                payload,
+            } => write!(
+                f,
+                "value-log block B{block} claims {valid} valid bytes, beyond its {payload}-byte payload"
+            ),
+            AuditError::BlockOverfull {
+                block,
+                pages,
+                pages_per_block,
+            } => write!(
+                f,
+                "group-area block B{block} claims {pages} valid pages, beyond the {pages_per_block} an erase block holds"
+            ),
+            AuditError::CounterSkew {
+                ledger,
+                per_cause_sum,
+                total,
+            } => write!(
+                f,
+                "flash {ledger} counter skew: per-cause sum {per_cause_sum} != independent total {total}"
+            ),
+            AuditError::MissingSpillLocation { level, index } => write!(
+                f,
+                "spilled structure {index} of level {level} has no flash location"
+            ),
+        }
+    }
+}
+
+impl Error for AuditError {}
+
+impl From<CounterSkew> for AuditError {
+    fn from(s: CounterSkew) -> Self {
+        AuditError::CounterSkew {
+            ledger: s.ledger,
+            per_cause_sum: s.per_cause_sum,
+            total: s.total,
+        }
+    }
+}
+
+impl AnyKeyStore {
+    /// Audits every structural invariant of the store; see the
+    /// [module docs](crate::audit) for the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AuditError`] found.
+    pub fn verify_invariants(&self) -> Result<(), AuditError> {
+        // Level-list ordering and per-group structure.
+        for (li, level) in self.levels.iter().enumerate() {
+            for (gi, w) in level.groups.windows(2).enumerate() {
+                if w[0].content.largest() >= w[1].content.smallest() {
+                    return Err(AuditError::LevelOrder {
+                        level: li,
+                        index: gi,
+                    });
+                }
+            }
+            for (gi, g) in level.groups.iter().enumerate() {
+                let mut prev = None;
+                for e in g.content.iter_key_order() {
+                    if prev.is_some_and(|p| p >= e.key) {
+                        return Err(AuditError::DirectoryOrder {
+                            level: li,
+                            group: gi,
+                        });
+                    }
+                    prev = Some(e.key);
+                }
+                if g.content.page_first_hash16.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(AuditError::RoutingOrder {
+                        level: li,
+                        group: gi,
+                    });
+                }
+            }
+        }
+
+        // DRAM budget conservation: what rebalance_dram claimed must equal
+        // what is actually marked resident.
+        let expected = if self.level_list_overflowed() {
+            self.dram.metadata_budget()
+        } else {
+            let lists: u64 = self.levels.iter().map(Level::meta_bytes).sum();
+            let hash_lists: u64 = self
+                .levels
+                .iter()
+                .flat_map(|l| l.groups.iter())
+                .filter(|g| g.hash_list_resident)
+                .map(|g| g.content.hash_list_bytes())
+                .sum();
+            lists + hash_lists
+        };
+        if self.dram.metadata_used != expected {
+            return Err(AuditError::DramMismatch {
+                used: self.dram.metadata_used,
+                expected,
+            });
+        }
+        if self.dram.metadata_used > self.dram.metadata_budget() {
+            return Err(AuditError::DramOverBudget {
+                used: self.dram.metadata_used,
+                budget: self.dram.metadata_budget(),
+            });
+        }
+
+        // Value-log live-byte conservation.
+        if let Some(log) = &self.log {
+            if let Some((block, valid, payload)) = log.first_overfull_block() {
+                return Err(AuditError::LogBlockOverfull {
+                    block,
+                    valid,
+                    payload,
+                });
+            }
+            let referenced: u64 = self.levels.iter().map(|l| l.logged_bytes).sum();
+            if log.valid_bytes() != referenced {
+                return Err(AuditError::LogBytesMismatch {
+                    log: log.valid_bytes(),
+                    levels: referenced,
+                });
+            }
+        }
+
+        // Group-area block accounting.
+        if let Some((block, pages, per_block)) = self.area.first_overfull_block() {
+            return Err(AuditError::BlockOverfull {
+                block,
+                pages,
+                pages_per_block: per_block,
+            });
+        }
+
+        // Cause-tagged flash counter conservation.
+        self.flash.counters().audit()?;
+        Ok(())
+    }
+
+    /// Test-only corruption hook: swaps the first two groups of the first
+    /// level holding at least two, breaking the level-list key order.
+    /// Returns whether a level with enough groups existed.
+    #[doc(hidden)]
+    pub fn corrupt_level_order_for_test(&mut self) -> bool {
+        for level in &mut self.levels {
+            if level.groups.len() >= 2 {
+                level.groups.swap(0, 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Test-only corruption hook: over-claims the DRAM budget past both
+    /// the resident-structure sum and the metadata budget.
+    #[doc(hidden)]
+    pub fn overclaim_dram_for_test(&mut self) {
+        self.dram.metadata_used = self.dram.metadata_budget() + (1 << 20);
+    }
+
+    /// Test-only corruption hook: desynchronizes the flash counters' read
+    /// total from its per-cause ledger (forwards to
+    /// [`anykey_flash::FlashSim::desync_counters_for_test`]).
+    #[doc(hidden)]
+    pub fn desync_counters_for_test(&mut self) {
+        self.flash.desync_counters_for_test();
+    }
+}
+
+impl PinkStore {
+    /// Audits every structural invariant of the store; see the
+    /// [module docs](crate::audit) for the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AuditError`] found.
+    pub fn verify_invariants(&self) -> Result<(), AuditError> {
+        // Level ordering, per-segment sortedness and spill locations.
+        for (li, level) in self.levels.iter().enumerate() {
+            for (si, w) in level.segs.windows(2).enumerate() {
+                let prev_last = w[0].entries.last().map(|e| e.key);
+                if prev_last.is_some_and(|k| k >= w[1].first_key()) {
+                    return Err(AuditError::LevelOrder {
+                        level: li,
+                        index: si,
+                    });
+                }
+            }
+            for (si, seg) in level.segs.iter().enumerate() {
+                if seg.entries.windows(2).any(|w| w[0].key >= w[1].key) {
+                    return Err(AuditError::DirectoryOrder {
+                        level: li,
+                        group: si,
+                    });
+                }
+                if !seg.resident && seg.ppa.is_none() {
+                    return Err(AuditError::MissingSpillLocation {
+                        level: li,
+                        index: si,
+                    });
+                }
+            }
+            if !level.list_resident && !level.is_empty() && level.list_pages.is_empty() {
+                return Err(AuditError::MissingSpillLocation {
+                    level: li,
+                    index: usize::MAX,
+                });
+            }
+        }
+
+        // DRAM budget conservation, mirroring `rebalance`: resident level
+        // lists first, then resident meta segments.
+        let mut expected = 0u64;
+        for level in &self.levels {
+            if level.list_resident {
+                expected += level.list_bytes();
+            }
+            for seg in &level.segs {
+                if seg.resident {
+                    expected += seg.bytes();
+                }
+            }
+        }
+        if self.dram.metadata_used != expected {
+            return Err(AuditError::DramMismatch {
+                used: self.dram.metadata_used,
+                expected,
+            });
+        }
+        if self.dram.metadata_used > self.dram.metadata_budget() {
+            return Err(AuditError::DramOverBudget {
+                used: self.dram.metadata_used,
+                budget: self.dram.metadata_budget(),
+            });
+        }
+
+        // Cause-tagged flash counter conservation.
+        self.flash.counters().audit()?;
+        Ok(())
+    }
+
+    /// Test-only corruption hook: desynchronizes the flash counters (see
+    /// [`AnyKeyStore::desync_counters_for_test`]).
+    #[doc(hidden)]
+    pub fn desync_counters_for_test(&mut self) {
+        self.flash.desync_counters_for_test();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, EngineKind};
+    use crate::KvEngine;
+
+    fn store(kind: EngineKind) -> AnyKeyStore {
+        AnyKeyStore::new(
+            DeviceConfig::builder()
+                .capacity_bytes(64 << 20)
+                .engine(kind)
+                .key_len(16)
+                .build(),
+        )
+    }
+
+    fn filled(kind: EngineKind) -> AnyKeyStore {
+        let mut s = store(kind);
+        for id in 0..30_000u64 {
+            s.put(id, 60).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn fresh_store_passes_audit() {
+        assert_eq!(store(EngineKind::AnyKey).verify_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn filled_store_passes_audit() {
+        let s = filled(EngineKind::AnyKeyPlus);
+        assert!(s.levels.iter().any(|l| !l.is_empty()), "data must land");
+        assert_eq!(s.verify_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn level_order_corruption_is_detected() {
+        let mut s = filled(EngineKind::AnyKey);
+        assert!(s.corrupt_level_order_for_test(), "need >= 2 groups");
+        assert!(matches!(
+            s.verify_invariants(),
+            Err(AuditError::LevelOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn dram_overclaim_is_detected() {
+        let mut s = filled(EngineKind::AnyKey);
+        s.overclaim_dram_for_test();
+        assert!(matches!(
+            s.verify_invariants(),
+            Err(AuditError::DramMismatch { .. } | AuditError::DramOverBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn counter_desync_is_detected() {
+        let mut s = filled(EngineKind::AnyKey);
+        s.desync_counters_for_test();
+        assert!(matches!(
+            s.verify_invariants(),
+            Err(AuditError::CounterSkew { .. })
+        ));
+    }
+
+    #[test]
+    fn pink_passes_audit_after_fill() {
+        let mut p = PinkStore::new(
+            DeviceConfig::builder()
+                .capacity_bytes(64 << 20)
+                .engine(EngineKind::Pink)
+                .key_len(16)
+                .build(),
+        );
+        for id in 0..30_000u64 {
+            p.put(id, 60).unwrap();
+        }
+        assert_eq!(p.verify_invariants(), Ok(()));
+        p.desync_counters_for_test();
+        assert!(matches!(
+            p.verify_invariants(),
+            Err(AuditError::CounterSkew { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_errors_have_distinct_diagnostics() {
+        let msgs = [
+            AuditError::LevelOrder { level: 1, index: 0 }.to_string(),
+            AuditError::DramOverBudget {
+                used: 10,
+                budget: 5,
+            }
+            .to_string(),
+            AuditError::CounterSkew {
+                ledger: "reads",
+                per_cause_sum: 3,
+                total: 4,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("key order"));
+        assert!(msgs[1].contains("over budget"));
+        assert!(msgs[2].contains("counter skew"));
+        assert_ne!(msgs[0], msgs[1]);
+        assert_ne!(msgs[1], msgs[2]);
+    }
+}

@@ -260,7 +260,8 @@ impl DeviceConfigBuilder {
     /// Panics if the write buffer does not fit in DRAM, if θ is not in
     /// `(0, 1]`, or if the group does not fit in an erase block.
     pub fn build(&self) -> DeviceConfig {
-        let flash = FlashConfig::paper_shape(self.capacity_bytes, self.page_size, self.pages_per_block);
+        let flash =
+            FlashConfig::paper_shape(self.capacity_bytes, self.page_size, self.pages_per_block);
         let dram_bytes = self.dram_bytes.unwrap_or(self.capacity_bytes / 1024);
         // The buffer gets a floor of 128 KiB so that flush granularity is
         // not distorted at scaled-down capacities (the paper's 64 GB
@@ -282,9 +283,7 @@ impl DeviceConfigBuilder {
         );
         let value_log_bytes = match self.engine {
             EngineKind::Pink | EngineKind::AnyKeyNoLog => 0,
-            _ => self
-                .value_log_bytes
-                .unwrap_or(self.capacity_bytes / 4),
+            _ => self.value_log_bytes.unwrap_or(self.capacity_bytes / 4),
         };
         DeviceConfig {
             flash,

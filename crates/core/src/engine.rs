@@ -3,6 +3,7 @@
 use anykey_flash::{FlashCounters, Ns};
 use anykey_workload::Op;
 
+use crate::audit::AuditError;
 use crate::config::EngineKind;
 use crate::error::KvError;
 
@@ -111,6 +112,20 @@ pub trait KvEngine {
     /// Raw flash capacity of this engine's region in bytes.
     fn capacity_bytes(&self) -> u64;
 
+    /// Audits the engine's structural invariants: level-list key ordering
+    /// and non-overlap, directory sortedness, DRAM budget conservation,
+    /// cause-tagged flash counter conservation, and live-byte accounting.
+    ///
+    /// Cheap relative to a compaction (one pass over in-DRAM metadata);
+    /// invoked automatically at compaction/GC/spill boundaries under the
+    /// `strict-invariants` feature and called directly by the test suites.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AuditError`] found, naming the violated
+    /// invariant with its observed and expected values.
+    fn check_invariants(&self) -> Result<(), AuditError>;
+
     /// Inserts (or updates) a key at the current horizon — convenience for
     /// examples and tests.
     ///
@@ -124,15 +139,19 @@ pub trait KvEngine {
     }
 
     /// Looks a key up at the current horizon — convenience for examples and
-    /// tests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the key id does not fit the configured key length.
+    /// tests. A key id that does not fit the configured key length cannot
+    /// have been stored, so it is reported as not found.
     fn get(&mut self, key: u64) -> OpOutcome {
         let at = self.horizon();
-        self.execute(&Op::Get { key }, at)
-            .expect("get cannot fail for well-formed keys")
+        match self.execute(&Op::Get { key }, at) {
+            Ok(outcome) => outcome,
+            Err(_) => OpOutcome {
+                issued_at: at,
+                done_at: at,
+                found: false,
+                flash_reads: 0,
+            },
+        }
     }
 
     /// Deletes a key at the current horizon — convenience for examples and

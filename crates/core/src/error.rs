@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::audit::AuditError;
+
 /// Errors surfaced by the KV engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KvError {
@@ -20,6 +22,26 @@ pub enum KvError {
         /// The configured key length in bytes.
         key_len: u16,
     },
+    /// An engine-internal bookkeeping invariant failed — a state that must
+    /// be unreachable in a correct engine (e.g. a peeked iterator entry
+    /// vanishing mid-merge, or a spilled segment without a flash location).
+    /// `context` names the violated expectation.
+    Internal {
+        /// The violated expectation, as a static description.
+        context: &'static str,
+    },
+    /// A flash block referenced by engine bookkeeping (value log, group
+    /// area, data area) is not tracked by the owning structure.
+    UntrackedBlock {
+        /// The untracked global block id.
+        block: u32,
+        /// Which structure was consulted.
+        owner: &'static str,
+    },
+    /// A structural-invariant audit failed (see [`crate::audit`]); raised
+    /// at compaction/GC/spill boundaries under the `strict-invariants`
+    /// feature.
+    Audit(AuditError),
 }
 
 impl fmt::Display for KvError {
@@ -29,11 +51,31 @@ impl fmt::Display for KvError {
             KvError::KeyTooLarge { id, key_len } => {
                 write!(f, "key id {id} does not fit in a {key_len}-byte key")
             }
+            KvError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
+            KvError::UntrackedBlock { block, owner } => {
+                write!(f, "block B{block} is not tracked by the {owner}")
+            }
+            KvError::Audit(e) => write!(f, "invariant audit failed: {e}"),
         }
     }
 }
 
-impl Error for KvError {}
+impl Error for KvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KvError::Audit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AuditError> for KvError {
+    fn from(e: AuditError) -> Self {
+        KvError::Audit(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -36,21 +36,42 @@
 //! assert!(!dev.get(2).found);
 //! ```
 
+/// The AnyKey engine (paper Sections 4.1-4.7).
 pub mod anykey;
+/// Runtime invariant auditing for both engines.
+pub mod audit;
+/// The DRAM write buffer.
 pub mod buffer;
+/// Device and engine configuration.
 pub mod config;
+/// DRAM budget accounting.
 pub mod dram;
+/// The `KvEngine` trait and operation outcomes.
 pub mod engine;
+/// Typed engine errors.
 pub mod error;
+/// The 32-bit key hash.
 pub mod hash;
+/// Fixed-length ordered keys.
 pub mod key;
+/// Analytic metadata-size model (Figure 2).
 pub mod meta_model;
+/// The PinK baseline engine.
 pub mod pink;
+/// Trace execution and latency reporting.
 pub mod runner;
 
+/// Invariant-audit failure diagnostics.
+pub use audit::AuditError;
+/// Device configuration and engine selection.
 pub use config::{CpuModel, DeviceConfig, DeviceConfigBuilder, EngineKind};
+/// The engine trait and its outcome/stat types.
 pub use engine::{KvEngine, MetadataStats, OpOutcome, PAGE_HEADER_BYTES};
+/// The engine error type.
 pub use error::KvError;
+/// The key hash function.
 pub use hash::xxhash32;
+/// The ordered fixed-length key type.
 pub use key::Key;
+/// Trace runner entry points.
 pub use runner::{run, warm_up, RunReport};

@@ -123,7 +123,11 @@ mod tests {
             let s = m.sizes();
             // PinK's metadata demand exceeds DRAM by orders of magnitude
             // and grows as keys get relatively larger.
-            assert!(s.pink_sum() > 4 * dram, "PinK sum {} too small", s.pink_sum());
+            assert!(
+                s.pink_sum() > 4 * dram,
+                "PinK sum {} too small",
+                s.pink_sum()
+            );
             assert!(s.pink_sum() > prev_pink);
             prev_pink = s.pink_sum();
             // AnyKey always fits DRAM.

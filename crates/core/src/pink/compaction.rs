@@ -33,9 +33,13 @@ impl PinkStore {
                 let bytes = key.len() as u64
                     + be.value_len as u64
                     + crate::pink::segment::SEG_ENTRY_OVERHEAD;
-                let (ptr, td) =
-                    self.data
-                        .append(&mut self.alloc, &mut self.flash, bytes, OpCause::CompactionWrite, t)?;
+                let (ptr, td) = self.data.append(
+                    &mut self.alloc,
+                    &mut self.flash,
+                    bytes,
+                    OpCause::CompactionWrite,
+                    t,
+                )?;
                 t = t.max(td);
                 ptr
             };
@@ -50,6 +54,8 @@ impl PinkStore {
         // Deeper merges are pipelined background work; the buffer frees as
         // soon as the L0->L1 merge lands.
         self.maintain(t_ack)?;
+        #[cfg(any(test, feature = "strict-invariants"))]
+        self.verify_invariants()?;
         Ok(t_ack)
     }
 
@@ -100,35 +106,41 @@ impl PinkStore {
         // --- 1. Take inputs; read and free their spilled meta pages. ----
         let mut read_ppas: Vec<Ppa> = Vec::new();
         let mut freed_pages: Vec<Ppa> = Vec::new();
-        let mut take_level = |level: &mut PinkLevel| -> Vec<SegEntry> {
+        let mut take_level = |level: &mut PinkLevel| -> Result<Vec<SegEntry>, KvError> {
             let segs = std::mem::take(&mut level.segs);
             let mut out = Vec::new();
             for s in segs {
                 if !s.resident {
-                    let ppa = s.ppa.expect("spilled segment has a location");
+                    let ppa = s.ppa.ok_or(KvError::Internal {
+                        context: "spilled segment has no flash location",
+                    })?;
                     read_ppas.push(ppa);
                     freed_pages.push(ppa);
                 }
                 out.extend(s.entries);
             }
             freed_pages.append(&mut level.list_pages);
-            out
+            Ok(out)
         };
         let upper = match src {
             Some(si) => {
                 debug_assert!(upper_in.is_empty());
-                take_level(&mut self.levels[si])
+                take_level(&mut self.levels[si])?
             }
             None => upper_in,
         };
-        let lower = take_level(&mut self.levels[dst]);
+        let lower = take_level(&mut self.levels[dst])?;
         drop(take_level);
         let t_read = self
             .flash
             .read_many(read_ppas, OpCause::CompactionRead, t_head);
         let mut t_erase = t_read;
         for ppa in freed_pages {
-            t_erase = t_erase.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, t_read));
+            t_erase =
+                t_erase.max(
+                    self.meta
+                        .free_page(&mut self.alloc, &mut self.flash, ppa, t_read)?,
+                );
         }
 
         // --- 2. Merge newest-wins; dead pairs free data bytes. ---------
@@ -141,7 +153,9 @@ impl PinkStore {
                 let take_upper = match (ui.peek(), li.peek()) {
                     (Some(u), Some(l)) => {
                         if u.key == l.key {
-                            let dead = li.next().expect("peeked");
+                            let dead = li.next().ok_or(KvError::Internal {
+                                context: "peeked merge entry vanished",
+                            })?;
                             self.data.invalidate(dead.ptr, dead.data_bytes());
                             true
                         } else {
@@ -153,9 +167,13 @@ impl PinkStore {
                     (None, None) => break,
                 };
                 let e = if take_upper {
-                    ui.next().expect("peeked")
+                    ui.next().ok_or(KvError::Internal {
+                        context: "peeked merge entry vanished",
+                    })?
                 } else {
-                    li.next().expect("peeked")
+                    li.next().ok_or(KvError::Internal {
+                        context: "peeked merge entry vanished",
+                    })?
                 };
                 if e.tombstone && is_bottom {
                     continue;
@@ -235,7 +253,12 @@ impl PinkStore {
                     let pages = std::mem::take(&mut self.levels[li].list_pages);
                     for ppa in pages {
                         t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
-                        t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, at));
+                        t = t.max(self.meta.free_page(
+                            &mut self.alloc,
+                            &mut self.flash,
+                            ppa,
+                            at,
+                        )?);
                     }
                 }
                 self.levels[li].list_pages.clear();
@@ -270,9 +293,19 @@ impl PinkStore {
                 let had_ppa = self.levels[li].segs[si].ppa.is_some();
                 if new_res {
                     if !was_res && had_ppa {
-                        let ppa = self.levels[li].segs[si].ppa.take().expect("checked");
+                        let ppa = self.levels[li].segs[si]
+                            .ppa
+                            .take()
+                            .ok_or(KvError::Internal {
+                                context: "resident load without a flash copy",
+                            })?;
                         t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
-                        t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, ppa, at));
+                        t = t.max(self.meta.free_page(
+                            &mut self.alloc,
+                            &mut self.flash,
+                            ppa,
+                            at,
+                        )?);
                     }
                 } else if !had_ppa {
                     let cause = if is_rebuilt {

@@ -66,8 +66,7 @@ impl PinkStore {
                 self.debug_full("gc made no progress");
                 return Err(KvError::DeviceFull);
             }
-            let block_payload =
-                self.page_payload * self.flash.geometry().pages_per_block as u64;
+            let block_payload = self.page_payload * self.flash.geometry().pages_per_block as u64;
             let data_victim = self.data.victim();
             let meta_victim = self.meta.victim();
             let data_frac = data_victim
@@ -102,6 +101,8 @@ impl PinkStore {
                 }
             }
         }
+        #[cfg(any(test, feature = "strict-invariants"))]
+        self.verify_invariants()?;
         Ok(t)
     }
 
@@ -186,27 +187,40 @@ impl PinkStore {
                 }
             }
         }
-        let read_ppas: Vec<Ppa> = seg_owners
-            .iter()
-            .map(|&(li, si)| self.levels[li].segs[si].ppa.expect("owner is spilled"))
-            .chain(
-                list_owners
-                    .iter()
-                    .map(|&(li, pi)| self.levels[li].list_pages[pi]),
-            )
-            .collect();
+        let mut read_ppas: Vec<Ppa> = Vec::with_capacity(seg_owners.len() + list_owners.len());
+        for &(li, si) in &seg_owners {
+            read_ppas.push(self.levels[li].segs[si].ppa.ok_or(KvError::Internal {
+                context: "GC owner segment has no flash location",
+            })?);
+        }
+        read_ppas.extend(
+            list_owners
+                .iter()
+                .map(|&(li, pi)| self.levels[li].list_pages[pi]),
+        );
         let t_read = self.flash.read_many(read_ppas, OpCause::GcRead, at);
         let mut t = t_read;
         for (li, si) in seg_owners {
-            let old = self.levels[li].segs[si].ppa.take().expect("owner is spilled");
-            t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, old, t_read));
+            let old = self.levels[li].segs[si]
+                .ppa
+                .take()
+                .ok_or(KvError::Internal {
+                    context: "GC owner segment has no flash location",
+                })?;
+            t = t.max(
+                self.meta
+                    .free_page(&mut self.alloc, &mut self.flash, old, t_read)?,
+            );
             let new = self.meta.alloc_page(&mut self.alloc, li)?;
             t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
             self.levels[li].segs[si].ppa = Some(new);
         }
         for (li, pi) in list_owners {
             let old = self.levels[li].list_pages[pi];
-            t = t.max(self.meta.free_page(&mut self.alloc, &mut self.flash, old, t_read));
+            t = t.max(
+                self.meta
+                    .free_page(&mut self.alloc, &mut self.flash, old, t_read)?,
+            );
             let new = self.meta.alloc_page(&mut self.alloc, li)?;
             t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
             self.levels[li].list_pages[pi] = new;

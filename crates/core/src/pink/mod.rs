@@ -8,8 +8,11 @@
 //! flash reads just to locate the pair — the degradation AnyKey fixes
 //! (paper Sections 2–3).
 
+/// PinK's flush, merge, and DRAM placement.
 pub mod compaction;
+/// PinK's data/meta-block garbage collection.
 pub mod gc;
+/// Meta segments and the data/meta flash areas.
 pub mod segment;
 
 #[cfg(test)]
@@ -20,6 +23,7 @@ use std::collections::HashMap;
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
 use anykey_workload::Op;
 
+use crate::audit::AuditError;
 use crate::buffer::{BufEntry, WriteBuffer};
 use crate::config::{DeviceConfig, EngineKind};
 use crate::dram::DramBudget;
@@ -63,14 +67,7 @@ impl PinkLevel {
     /// First segment that can contain keys ≥ `key` (scans).
     pub fn scan_start(&self, key: Key) -> usize {
         match self.candidate(key) {
-            Some(i)
-                if self.segs[i]
-                    .entries
-                    .last()
-                    .is_some_and(|e| e.key >= key) =>
-            {
-                i
-            }
+            Some(i) if self.segs[i].entries.last().is_some_and(|e| e.key >= key) => i,
             Some(i) => i + 1,
             None => 0,
         }
@@ -135,7 +132,10 @@ impl PinkStore {
             alloc: BlockAllocator::new(0..geometry.blocks()),
             meta: MetaArea::new(geometry.pages_per_block),
             data: DataArea::new(geometry.pages_per_block, page_payload),
-            dram: DramBudget::new(cfg.dram_bytes, cfg.write_buffer_bytes.min(cfg.dram_bytes / 2)),
+            dram: DramBudget::new(
+                cfg.dram_bytes,
+                cfg.write_buffer_bytes.min(cfg.dram_bytes / 2),
+            ),
             page_payload,
             live: HashMap::new(),
             live_bytes: 0,
@@ -153,7 +153,13 @@ impl PinkStore {
         (self.page_payload / (key_len + LIST_ENTRY_OVERHEAD)).max(1)
     }
 
-    fn do_put(&mut self, id: u64, value_len: u32, tombstone: bool, at: Ns) -> Result<OpOutcome, KvError> {
+    fn do_put(
+        &mut self,
+        id: u64,
+        value_len: u32,
+        tombstone: bool,
+        at: Ns,
+    ) -> Result<OpOutcome, KvError> {
         let key = self.make_key(id)?;
         self.buffer.insert(
             key,
@@ -212,7 +218,8 @@ impl PinkStore {
             if !self.levels[li].list_resident {
                 let key_len = self.levels[li].segs[si].first_key().len() as u64;
                 let per_page = self.list_entries_per_page(key_len) as usize;
-                let page_idx = (si / per_page).min(self.levels[li].list_pages.len().saturating_sub(1));
+                let page_idx =
+                    (si / per_page).min(self.levels[li].list_pages.len().saturating_sub(1));
                 if let Some(&ppa) = self.levels[li].list_pages.get(page_idx) {
                     t = self.flash.read(ppa, OpCause::MetaRead, t);
                     reads += 1;
@@ -221,9 +228,9 @@ impl PinkStore {
             // Meta-segment access: free when pinned, one flash read when
             // spilled.
             if !self.levels[li].segs[si].resident {
-                let ppa = self.levels[li].segs[si]
-                    .ppa
-                    .expect("spilled segment has a flash location");
+                let ppa = self.levels[li].segs[si].ppa.ok_or(KvError::Internal {
+                    context: "spilled segment has no flash location",
+                })?;
                 t = self.flash.read(ppa, OpCause::MetaRead, t);
                 reads += 1;
             }
@@ -255,7 +262,12 @@ impl PinkStore {
         })
     }
 
-    fn do_scan(&mut self, start_id: u64, len: u32, at: Ns) -> Result<(Vec<u64>, OpOutcome), KvError> {
+    fn do_scan(
+        &mut self,
+        start_id: u64,
+        len: u32,
+        at: Ns,
+    ) -> Result<(Vec<u64>, OpOutcome), KvError> {
         let start = self.make_key(start_id)?;
         let want = len as usize;
         let mut t = at;
@@ -291,14 +303,19 @@ impl PinkStore {
                 while taken < budget && si < level.segs.len() {
                     let seg = &level.segs[si];
                     if !seg.resident {
-                        meta_ppas.push(seg.ppa.expect("spilled segment has a location"));
+                        meta_ppas.push(seg.ppa.ok_or(KvError::Internal {
+                            context: "spilled segment has no flash location",
+                        })?);
                     }
                     let from = seg.entries.partition_point(|e| e.key < start);
                     for e in &seg.entries[from..] {
                         if taken >= budget {
                             break;
                         }
-                        cands.push(Cand { entry: *e, level: li });
+                        cands.push(Cand {
+                            entry: *e,
+                            level: li,
+                        });
                         taken += 1;
                     }
                     si += 1;
@@ -361,7 +378,9 @@ impl PinkStore {
                 }
                 let mut buf_tomb = None;
                 if next_buf_key == Some(key) {
-                    let (_, e) = buf_iter.next().expect("peeked");
+                    let (_, e) = buf_iter.next().ok_or(KvError::Internal {
+                        context: "peeked buffer entry vanished mid-scan",
+                    })?;
                     buf_tomb = Some(e.tombstone);
                 }
                 let mut newest: Option<SegEntry> = None;
@@ -426,8 +445,19 @@ impl KvEngine for PinkStore {
     }
 
     fn scan_keys(&mut self, start: u64, len: u32, at: Ns) -> (Vec<u64>, OpOutcome) {
-        self.do_scan(start, len, at)
-            .expect("scan cannot fail for well-formed keys")
+        // An ill-formed start key cannot match any stored key, so the scan
+        // is empty rather than a panic.
+        self.do_scan(start, len, at).unwrap_or_else(|_| {
+            (
+                Vec::new(),
+                OpOutcome {
+                    issued_at: at,
+                    done_at: at,
+                    found: false,
+                    flash_reads: 0,
+                },
+            )
+        })
     }
 
     fn metadata(&self) -> MetadataStats {
@@ -477,5 +507,9 @@ impl KvEngine for PinkStore {
 
     fn capacity_bytes(&self) -> u64 {
         self.cfg.capacity_bytes()
+    }
+
+    fn check_invariants(&self) -> Result<(), AuditError> {
+        self.verify_invariants()
     }
 }

@@ -169,26 +169,34 @@ impl MetaArea {
     }
 
     /// Releases a meta page; erases and frees the block when it empties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UntrackedBlock`] when the page's block is not
+    /// tracked — a freed meta page must have been allocated here.
     pub fn free_page(
         &mut self,
         alloc: &mut BlockAllocator,
         flash: &mut FlashSim,
         ppa: Ppa,
         at: Ns,
-    ) -> Ns {
+    ) -> Result<Ns, KvError> {
         let live = self
             .live_pages
             .get_mut(&ppa.block)
-            .expect("freed meta page must be tracked");
+            .ok_or(KvError::UntrackedBlock {
+                block: ppa.block.0,
+                owner: "meta area",
+            })?;
         debug_assert!(*live > 0);
         *live -= 1;
         if *live == 0 && !self.is_open(ppa.block) {
             self.live_pages.remove(&ppa.block);
             let done = flash.erase(ppa.block, at);
             alloc.free(ppa.block);
-            return done;
+            return Ok(done);
         }
-        at
+        Ok(at)
     }
 
     /// Number of blocks the meta area currently holds.
@@ -305,7 +313,13 @@ impl DataArea {
             }
         }
         self.open = Some(o);
-        *self.blocks.get_mut(&o.block).expect("open block tracked") += bytes;
+        *self
+            .blocks
+            .get_mut(&o.block)
+            .ok_or(KvError::UntrackedBlock {
+                block: o.block.0,
+                owner: "data area",
+            })? += bytes;
         if o.next_page == self.pages_per_block {
             done = done.max(self.seal(flash, at));
         }
@@ -404,8 +418,12 @@ mod tests {
     #[test]
     fn data_append_packs_pages() {
         let (mut flash, mut alloc, mut data) = setup();
-        let (a, _) = data.append(&mut alloc, &mut flash, 100, OpCause::CompactionWrite, 0).unwrap();
-        let (b, _) = data.append(&mut alloc, &mut flash, 100, OpCause::CompactionWrite, 0).unwrap();
+        let (a, _) = data
+            .append(&mut alloc, &mut flash, 100, OpCause::CompactionWrite, 0)
+            .unwrap();
+        let (b, _) = data
+            .append(&mut alloc, &mut flash, 100, OpCause::CompactionWrite, 0)
+            .unwrap();
         assert_eq!(a.block, b.block);
         assert_eq!(a.page, b.page);
         assert_eq!(data.valid_in(a.block), 200);
@@ -460,7 +478,7 @@ mod tests {
         // Free the first block's pages; it should be erased.
         let freed = alloc.free_count();
         for p in &pages[..128] {
-            meta.free_page(&mut alloc, &mut flash, *p, 0);
+            meta.free_page(&mut alloc, &mut flash, *p, 0).unwrap();
         }
         assert_eq!(alloc.free_count(), freed + 1);
         assert_eq!(flash.counters().erases(), 1);

@@ -102,7 +102,12 @@ pub fn run(
 
     for op in ops.take(n_ops as usize) {
         let at = if inflight.len() >= queue_depth {
-            inflight.pop().expect("pipeline is non-empty").0
+            inflight
+                .pop()
+                .ok_or(KvError::Internal {
+                    context: "full pipeline with no in-flight request",
+                })?
+                .0
         } else {
             start
         };

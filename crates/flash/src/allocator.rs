@@ -40,11 +40,20 @@ impl BlockAllocator {
         }
     }
 
+    /// Checked index of an in-range block id into the `allocated` table.
+    fn slot_index(&self, id: u32) -> usize {
+        debug_assert!(self.range.contains(&id));
+        // A u32 offset always fits usize on the simulator's targets; the
+        // saturation fallback exists only to avoid a bare cast.
+        usize::try_from(id - self.range.start).unwrap_or(usize::MAX)
+    }
+
     /// Takes the lowest-id free block, or `None` when the region is
     /// exhausted.
     pub fn alloc(&mut self) -> Option<BlockId> {
         let Reverse(id) = self.free.pop()?;
-        self.allocated[(id - self.range.start) as usize] = true;
+        let slot = self.slot_index(id);
+        self.allocated[slot] = true;
         Some(BlockId(id))
     }
 
@@ -60,7 +69,8 @@ impl BlockAllocator {
             "{block} is outside allocator range {:?}",
             self.range
         );
-        let slot = &mut self.allocated[(block.0 - self.range.start) as usize];
+        let idx = self.slot_index(block.0);
+        let slot = &mut self.allocated[idx];
         assert!(*slot, "double free of {block}");
         *slot = false;
         self.free.push(Reverse(block.0));

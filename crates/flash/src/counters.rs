@@ -97,12 +97,44 @@ impl fmt::Display for OpCause {
 }
 
 /// Per-cause totals of page reads, page programs and block erases.
+///
+/// The grand totals (`total_reads`, `total_writes`) are maintained as
+/// *independent* counters rather than computed sums, so [`FlashCounters::audit`]
+/// can verify cause-tagged conservation: if any path ever counted an
+/// operation against one ledger but not the other, the audit reports the
+/// skew instead of silently folding it into a "total".
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlashCounters {
     reads: [u64; 10],
     writes: [u64; 10],
+    reads_total: u64,
+    writes_total: u64,
     erases: u64,
 }
+
+/// Counter-conservation failure reported by [`FlashCounters::audit`]: a
+/// per-cause ledger no longer sums to the independently maintained total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSkew {
+    /// Which ledger diverged: `"reads"` or `"writes"`.
+    pub ledger: &'static str,
+    /// Sum over the ten per-[`OpCause`] entries.
+    pub per_cause_sum: u64,
+    /// The independently maintained grand total.
+    pub total: u64,
+}
+
+impl fmt::Display for CounterSkew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flash {} counter skew: per-cause sum {} != independent total {}",
+            self.ledger, self.per_cause_sum, self.total
+        )
+    }
+}
+
+impl std::error::Error for CounterSkew {}
 
 impl FlashCounters {
     /// A zeroed counter set.
@@ -112,14 +144,46 @@ impl FlashCounters {
 
     pub(crate) fn count_read(&mut self, cause: OpCause) {
         self.reads[cause.idx()] += 1;
+        self.reads_total += 1;
     }
 
     pub(crate) fn count_write(&mut self, cause: OpCause) {
         self.writes[cause.idx()] += 1;
+        self.writes_total += 1;
     }
 
     pub(crate) fn count_erase(&mut self) {
         self.erases += 1;
+    }
+
+    /// Verifies cause-tagged conservation: each per-cause ledger must sum
+    /// exactly to its independent grand total.
+    pub fn audit(&self) -> Result<(), CounterSkew> {
+        let read_sum: u64 = self.reads.iter().sum();
+        if read_sum != self.reads_total {
+            return Err(CounterSkew {
+                ledger: "reads",
+                per_cause_sum: read_sum,
+                total: self.reads_total,
+            });
+        }
+        let write_sum: u64 = self.writes.iter().sum();
+        if write_sum != self.writes_total {
+            return Err(CounterSkew {
+                ledger: "writes",
+                per_cause_sum: write_sum,
+                total: self.writes_total,
+            });
+        }
+        Ok(())
+    }
+
+    /// Test-only corruption hook: bumps the independent read total without
+    /// touching the per-cause ledger, so [`FlashCounters::audit`] must fail.
+    /// Exists for the negative-path auditor tests.
+    #[doc(hidden)]
+    pub fn desync_for_test(&mut self) {
+        self.reads_total += 1;
     }
 
     /// Page reads attributed to `cause`.
@@ -139,13 +203,13 @@ impl FlashCounters {
 
     /// Total page reads across all causes.
     pub fn total_reads(&self) -> u64 {
-        self.reads.iter().sum()
+        self.reads_total
     }
 
     /// Total page programs across all causes — the paper's Figure 13 metric
     /// (total page writes ∝ inverse device lifetime).
     pub fn total_writes(&self) -> u64 {
-        self.writes.iter().sum()
+        self.writes_total
     }
 
     /// Difference against an earlier snapshot (`self - earlier`), used to
@@ -162,6 +226,8 @@ impl FlashCounters {
             out.reads[i] = self.reads[i] - earlier.reads[i];
             out.writes[i] = self.writes[i] - earlier.writes[i];
         }
+        out.reads_total = self.reads_total - earlier.reads_total;
+        out.writes_total = self.writes_total - earlier.writes_total;
         out.erases = self.erases - earlier.erases;
         out
     }
@@ -220,5 +286,42 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!FlashCounters::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn audit_passes_on_consistent_counters() {
+        let mut c = FlashCounters::new();
+        for cause in OpCause::ALL {
+            if cause.is_read() {
+                c.count_read(cause);
+            } else {
+                c.count_write(cause);
+            }
+        }
+        assert_eq!(c.audit(), Ok(()));
+        assert_eq!(c.total_reads(), 5);
+        assert_eq!(c.total_writes(), 5);
+    }
+
+    #[test]
+    fn audit_detects_desynchronized_total() {
+        let mut c = FlashCounters::new();
+        c.count_read(OpCause::HostRead);
+        c.desync_for_test();
+        let err = c.audit().unwrap_err();
+        assert_eq!(err.ledger, "reads");
+        assert_eq!(err.per_cause_sum, 1);
+        assert_eq!(err.total, 2);
+        assert!(err.to_string().contains("counter skew"));
+    }
+
+    #[test]
+    fn since_preserves_audit_consistency() {
+        let mut c = FlashCounters::new();
+        c.count_read(OpCause::MetaRead);
+        let snap = c.clone();
+        c.count_read(OpCause::MetaRead);
+        c.count_write(OpCause::LogWrite);
+        assert_eq!(c.since(&snap).audit(), Ok(()));
     }
 }

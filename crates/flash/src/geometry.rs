@@ -34,10 +34,10 @@ impl FlashGeometry {
     /// Panics if `raw_bytes` is not large enough for at least one block per
     /// chip.
     pub fn paper_shape(raw_bytes: u64, page_size: u32, pages_per_block: u32) -> Self {
-        let channels = 8;
-        let chips_per_channel = 8;
-        let chips = (channels * chips_per_channel) as u64;
-        let block_bytes = page_size as u64 * pages_per_block as u64;
+        let channels: u32 = 8;
+        let chips_per_channel: u32 = 8;
+        let chips = u64::from(channels * chips_per_channel);
+        let block_bytes = u64::from(page_size) * u64::from(pages_per_block);
         let blocks_per_chip = raw_bytes / (chips * block_bytes);
         assert!(
             blocks_per_chip >= 1,
@@ -48,10 +48,16 @@ impl FlashGeometry {
             "raw capacity {raw_bytes} must be a multiple of {} (chips x block bytes), or the device would silently shrink",
             chips * block_bytes
         );
+        assert!(
+            blocks_per_chip <= u64::from(u32::MAX),
+            "raw capacity {raw_bytes} implies {blocks_per_chip} blocks per chip, beyond the 32-bit block-id space"
+        );
+        // Checked above; saturation can never engage.
+        let blocks_per_chip = u32::try_from(blocks_per_chip).unwrap_or(u32::MAX);
         Self {
             channels,
             chips_per_channel,
-            blocks_per_chip: blocks_per_chip as u32,
+            blocks_per_chip,
             pages_per_block,
             page_size,
         }
@@ -69,17 +75,17 @@ impl FlashGeometry {
 
     /// Total number of pages on the device.
     pub fn pages(&self) -> u64 {
-        self.blocks() as u64 * self.pages_per_block as u64
+        u64::from(self.blocks()) * u64::from(self.pages_per_block)
     }
 
     /// Raw device capacity in bytes.
     pub fn raw_bytes(&self) -> u64 {
-        self.pages() * self.page_size as u64
+        self.pages() * u64::from(self.page_size)
     }
 
     /// Bytes per erase block.
     pub fn block_bytes(&self) -> u64 {
-        self.pages_per_block as u64 * self.page_size as u64
+        u64::from(self.pages_per_block) * u64::from(self.page_size)
     }
 
     /// The chip that owns a global block id (blocks are striped round-robin

@@ -33,18 +33,30 @@
 //! assert_eq!(sim.counters().reads(OpCause::HostRead), 1);
 //! ```
 
+/// Physical page addresses and block identifiers.
 pub mod address;
+/// Free-block bookkeeping shared by the FTL areas.
 pub mod allocator;
+/// Cause-tagged page/erase counters (the paper's Table 3 accounting).
 pub mod counters;
+/// Device shape: channels, chips, blocks, pages.
 pub mod geometry;
+/// TLC latency model for reads, programs, and erases.
 pub mod latency;
+/// The virtual-time flash device simulator.
 pub mod sim;
 
+/// Flash addressing primitives.
 pub use address::{BlockId, Ppa};
+/// Allocator over a contiguous erase-block range.
 pub use allocator::BlockAllocator;
-pub use counters::{FlashCounters, OpCause};
+/// Operation accounting: per-cause counters and their audit error.
+pub use counters::{CounterSkew, FlashCounters, OpCause};
+/// Physical device geometry.
 pub use geometry::FlashGeometry;
+/// Page-type-aware latency tables.
 pub use latency::{LatencyModel, PageKind};
+/// Simulator configuration and the simulator itself.
 pub use sim::{FlashConfig, FlashSim};
 
 /// Simulated time in nanoseconds since the start of the run.

@@ -1,8 +1,6 @@
 //! The virtual-time flash scheduler.
 
-use crate::{
-    BlockId, FlashCounters, FlashGeometry, LatencyModel, Ns, OpCause, PageKind, Ppa,
-};
+use crate::{BlockId, FlashCounters, FlashGeometry, LatencyModel, Ns, OpCause, PageKind, Ppa};
 
 /// Configuration of a simulated flash device: geometry plus latency model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -216,6 +214,14 @@ impl FlashSim {
     /// the chip timelines.
     pub fn reset_counters(&mut self) {
         self.counters = FlashCounters::new();
+    }
+
+    /// Test-only corruption hook forwarding to
+    /// [`FlashCounters::desync_for_test`]; exists so the negative-path
+    /// auditor tests can desynchronize a live engine's counters.
+    #[doc(hidden)]
+    pub fn desync_counters_for_test(&mut self) {
+        self.counters.desync_for_test();
     }
 }
 

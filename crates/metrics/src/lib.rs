@@ -16,8 +16,12 @@
 //! assert!(h.quantile(0.99) >= 400_000);
 //! ```
 
+/// Log-bucketed latency histograms.
 pub mod hist;
+/// Run-report assembly and rendering.
 pub mod report;
 
+/// Log-bucketed latency histogram with exact quantile queries.
 pub use hist::LatencyHist;
+/// Report renderers (CSV and aligned-table output).
 pub use report::{Csv, Table};

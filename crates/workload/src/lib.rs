@@ -26,12 +26,20 @@
 //! assert_eq!(ops.len(), 100);
 //! ```
 
+/// Operation streams (gets/puts/deletes/scans) over a keyspace.
 pub mod ops;
+/// Deterministic pseudo-random number generation.
 pub mod rng;
+/// The paper's Table 1 workload specifications.
 pub mod spec;
+/// Zipfian and uniform key-popularity distributions.
 pub mod zipfian;
 
+/// A single KV operation and builders for deterministic op streams.
 pub use ops::{Op, OpStream, OpStreamBuilder};
+/// SplitMix64 PRNG — deterministic and dependency-free.
 pub use rng::SplitMix64;
+/// Named workload specs and their value/key categories.
 pub use spec::{Category, WorkloadSpec};
+/// Key-popularity distributions (Zipfian, uniform).
 pub use zipfian::{KeyDist, ZipfianGen};

@@ -264,9 +264,7 @@ mod tests {
             .build()
             .take(10)
             .collect();
-        assert!(ops
-            .iter()
-            .all(|o| matches!(o, Op::Scan { len: 150, .. })));
+        assert!(ops.iter().all(|o| matches!(o, Op::Scan { len: 150, .. })));
     }
 
     #[test]

@@ -86,7 +86,6 @@ impl ZipfianGen {
                     alpha,
                     zetan,
                     eta,
-
                 }
             }
             KeyDist::Uniform => Dist::Uniform,
@@ -122,7 +121,6 @@ impl ZipfianGen {
                 alpha,
                 zetan,
                 eta,
-
             } => {
                 let u = self.rng.next_f64();
                 let uz = u * zetan;
@@ -166,8 +164,7 @@ mod tests {
     #[test]
     fn higher_theta_is_more_skewed() {
         let hot_mass = |theta: f64| {
-            let mut g =
-                ZipfianGen::new(100_000, KeyDist::Zipfian { theta }, 5).without_scramble();
+            let mut g = ZipfianGen::new(100_000, KeyDist::Zipfian { theta }, 5).without_scramble();
             let mut hot = 0usize;
             for _ in 0..50_000 {
                 if g.next_key() < 100 {
@@ -186,10 +183,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[g.next_key() as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(max < 2 * min, "uniform draw too lumpy: {min}..{max}");
     }
 

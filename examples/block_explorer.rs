@@ -6,7 +6,7 @@
 //! cargo run --release --example block_explorer
 //! ```
 
-use anykey::core::{warm_up, DeviceConfig, EngineKind, KvEngine};
+use anykey::core::{warm_up, DeviceConfig, EngineKind};
 use anykey::metrics::report::fmt_ns;
 use anykey::metrics::LatencyHist;
 use anykey::workload::{spec, SplitMix64};
@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let meta = dev.metadata();
         println!("{}:", kind.label());
-        println!("  GET  p50 {:>9}  p95 {:>9}", fmt_ns(gets.quantile(0.5)), fmt_ns(gets.quantile(0.95)));
+        println!(
+            "  GET  p50 {:>9}  p95 {:>9}",
+            fmt_ns(gets.quantile(0.5)),
+            fmt_ns(gets.quantile(0.95))
+        );
         println!(
             "  SCAN p50 {:>9}  p95 {:>9}  ({} entries returned)",
             fmt_ns(scans.quantile(0.5)),

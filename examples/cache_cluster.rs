@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec::by_name("ZippyDB").expect("Table 2"),
     ];
 
-    println!("two-tenant partitioned KV-SSD ({} MiB per partition)\n", half >> 20);
+    println!(
+        "two-tenant partitioned KV-SSD ({} MiB per partition)\n",
+        half >> 20
+    );
     println!(
         "{:>8} {:>9}  {:>10} {:>10}  {:>9}",
         "tenant", "system", "p95 read", "p99 read", "kIOPS"
@@ -29,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for tenant in tenants {
         let mut p95 = [0u64; 2];
-        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus].into_iter().enumerate() {
+        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus]
+            .into_iter()
+            .enumerate()
+        {
             let cfg = DeviceConfig::builder()
                 .capacity_bytes(half)
                 .engine(kind)
@@ -53,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "{:>8} {:>9}  p95 improvement: {:.2}x\n",
-            "", "", p95[0] as f64 / p95[1].max(1) as f64
+            "",
+            "",
+            p95[0] as f64 / p95[1].max(1) as f64
         );
     }
     Ok(())

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use anykey::core::{DeviceConfig, EngineKind, KvEngine};
+use anykey::core::{DeviceConfig, EngineKind};
 use anykey::metrics::report::fmt_ns;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let miss = dev.get(999_999_999);
     assert!(!miss.found);
-    println!("GET absent key: correctly not found ({})", fmt_ns(miss.latency()));
+    println!(
+        "GET absent key: correctly not found ({})",
+        fmt_ns(miss.latency())
+    );
 
     // Updates supersede, deletes tombstone.
     dev.put(42, 500)?;

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keyspace = capacity * 2 / 5 / udb.pair_bytes(); // ~40% fill
 
     println!("social-graph tier: {udb}");
-    println!("device 64 MiB, {} unique objects, Zipfian(0.99), 20% writes\n", keyspace);
+    println!(
+        "device 64 MiB, {} unique objects, Zipfian(0.99), 20% writes\n",
+        keyspace
+    );
     println!(
         "{:>8}  {:>10} {:>10} {:>10} {:>10} {:>9}",
         "system", "p50", "p95", "p99", "max", "kIOPS"

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verification: everything here must pass offline, with no
+# dependencies outside this repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> xtask lint"
+cargo run -q -p xtask -- lint
+
+echo "==> xtask lint --deps (hermeticity)"
+cargo run -q -p xtask -- lint --deps
+
+echo "verify: OK"

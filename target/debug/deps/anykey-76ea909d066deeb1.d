@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anykey-76ea909d066deeb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanykey-76ea909d066deeb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanykey-76ea909d066deeb1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anykey-8273907b028c85f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/anykey-8273907b028c85f6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anykey-c9770a19a2a43959.d: src/lib.rs
+
+/root/repo/target/debug/deps/anykey-c9770a19a2a43959: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anykey-e237d35138466ba5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libanykey-e237d35138466ba5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libanykey-e237d35138466ba5.rmeta: src/lib.rs
+
+src/lib.rs:

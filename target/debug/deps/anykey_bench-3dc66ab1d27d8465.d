@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anykey_bench-3dc66ab1d27d8465.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/anykey_bench-3dc66ab1d27d8465: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

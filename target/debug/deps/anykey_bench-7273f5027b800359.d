@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/anykey_bench-7273f5027b800359.d: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/multitenant.rs crates/bench/src/experiments/probe.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs
+
+/root/repo/target/debug/deps/anykey_bench-7273f5027b800359: crates/bench/src/lib.rs crates/bench/src/common.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig2.rs crates/bench/src/experiments/multitenant.rs crates/bench/src/experiments/probe.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/common.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig13.rs:
+crates/bench/src/experiments/fig14.rs:
+crates/bench/src/experiments/fig15.rs:
+crates/bench/src/experiments/fig16.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig2.rs:
+crates/bench/src/experiments/multitenant.rs:
+crates/bench/src/experiments/probe.rs:
+crates/bench/src/experiments/scalability.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anykey_bench-c21e4da7d838b2eb.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/anykey_bench-c21e4da7d838b2eb: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/anykey_core-7b235a9a60b11200.d: crates/core/src/lib.rs crates/core/src/anykey/mod.rs crates/core/src/anykey/compaction.rs crates/core/src/anykey/entity.rs crates/core/src/anykey/gc.rs crates/core/src/anykey/group.rs crates/core/src/anykey/level.rs crates/core/src/anykey/valuelog.rs crates/core/src/anykey/tests.rs crates/core/src/audit.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/dram.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/hash.rs crates/core/src/key.rs crates/core/src/meta_model.rs crates/core/src/pink/mod.rs crates/core/src/pink/compaction.rs crates/core/src/pink/gc.rs crates/core/src/pink/segment.rs crates/core/src/pink/tests.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/anykey_core-7b235a9a60b11200: crates/core/src/lib.rs crates/core/src/anykey/mod.rs crates/core/src/anykey/compaction.rs crates/core/src/anykey/entity.rs crates/core/src/anykey/gc.rs crates/core/src/anykey/group.rs crates/core/src/anykey/level.rs crates/core/src/anykey/valuelog.rs crates/core/src/anykey/tests.rs crates/core/src/audit.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/dram.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/hash.rs crates/core/src/key.rs crates/core/src/meta_model.rs crates/core/src/pink/mod.rs crates/core/src/pink/compaction.rs crates/core/src/pink/gc.rs crates/core/src/pink/segment.rs crates/core/src/pink/tests.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/anykey/mod.rs:
+crates/core/src/anykey/compaction.rs:
+crates/core/src/anykey/entity.rs:
+crates/core/src/anykey/gc.rs:
+crates/core/src/anykey/group.rs:
+crates/core/src/anykey/level.rs:
+crates/core/src/anykey/valuelog.rs:
+crates/core/src/anykey/tests.rs:
+crates/core/src/audit.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/dram.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/hash.rs:
+crates/core/src/key.rs:
+crates/core/src/meta_model.rs:
+crates/core/src/pink/mod.rs:
+crates/core/src/pink/compaction.rs:
+crates/core/src/pink/gc.rs:
+crates/core/src/pink/segment.rs:
+crates/core/src/pink/tests.rs:
+crates/core/src/runner.rs:

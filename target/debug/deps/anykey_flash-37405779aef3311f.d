@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/anykey_flash-37405779aef3311f.d: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+/root/repo/target/debug/deps/libanykey_flash-37405779aef3311f.rlib: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+/root/repo/target/debug/deps/libanykey_flash-37405779aef3311f.rmeta: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/address.rs:
+crates/flash/src/allocator.rs:
+crates/flash/src/counters.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/latency.rs:
+crates/flash/src/sim.rs:

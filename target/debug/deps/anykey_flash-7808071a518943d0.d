@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/anykey_flash-7808071a518943d0.d: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+/root/repo/target/debug/deps/anykey_flash-7808071a518943d0: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/address.rs:
+crates/flash/src/allocator.rs:
+crates/flash/src/counters.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/latency.rs:
+crates/flash/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anykey_metrics-29d61ff5475eda98.d: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libanykey_metrics-29d61ff5475eda98.rlib: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libanykey_metrics-29d61ff5475eda98.rmeta: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/report.rs:

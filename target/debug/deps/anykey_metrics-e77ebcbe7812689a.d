@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/anykey_metrics-e77ebcbe7812689a.d: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/anykey_metrics-e77ebcbe7812689a: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/report.rs:

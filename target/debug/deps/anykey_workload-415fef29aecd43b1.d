@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/anykey_workload-415fef29aecd43b1.d: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+/root/repo/target/debug/deps/libanykey_workload-415fef29aecd43b1.rlib: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+/root/repo/target/debug/deps/libanykey_workload-415fef29aecd43b1.rmeta: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/zipfian.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anykey_workload-a103f47e17331ef8.d: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+/root/repo/target/debug/deps/anykey_workload-a103f47e17331ef8: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/zipfian.rs:

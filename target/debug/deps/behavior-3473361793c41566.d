@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-3473361793c41566.d: tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-3473361793c41566: tests/behavior.rs
+
+tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-6c3d46b7bae7bed2.d: tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-6c3d46b7bae7bed2: tests/behavior.rs
+
+tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-cf0c8256ffb585b4.d: tests/corruption.rs
+
+/root/repo/target/debug/deps/corruption-cf0c8256ffb585b4: tests/corruption.rs
+
+tests/corruption.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-4afe4a38a600c01a.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-4afe4a38a600c01a: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-b5cecbcaa012618d.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-b5cecbcaa012618d: tests/invariants.rs
+
+tests/invariants.rs:

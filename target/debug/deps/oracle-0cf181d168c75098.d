@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-0cf181d168c75098.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-0cf181d168c75098: tests/oracle.rs
+
+tests/oracle.rs:

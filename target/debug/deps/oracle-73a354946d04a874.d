@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-73a354946d04a874.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-73a354946d04a874: tests/oracle.rs
+
+tests/oracle.rs:

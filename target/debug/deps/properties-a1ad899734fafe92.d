@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a1ad899734fafe92.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a1ad899734fafe92: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b7d4f08165ba2f12.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b7d4f08165ba2f12: tests/properties.rs
+
+tests/properties.rs:

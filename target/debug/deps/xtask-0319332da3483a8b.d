@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xtask-0319332da3483a8b.d: xtask/src/main.rs xtask/src/lint.rs
+
+/root/repo/target/debug/deps/xtask-0319332da3483a8b: xtask/src/main.rs xtask/src/lint.rs
+
+xtask/src/main.rs:
+xtask/src/lint.rs:

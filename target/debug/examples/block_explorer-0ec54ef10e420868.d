@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/block_explorer-0ec54ef10e420868.d: examples/block_explorer.rs
+
+/root/repo/target/debug/examples/block_explorer-0ec54ef10e420868: examples/block_explorer.rs
+
+examples/block_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/block_explorer-9cc10a555e43bb0b.d: examples/block_explorer.rs
+
+/root/repo/target/debug/examples/block_explorer-9cc10a555e43bb0b: examples/block_explorer.rs
+
+examples/block_explorer.rs:

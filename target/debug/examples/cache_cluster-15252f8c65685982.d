@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_cluster-15252f8c65685982.d: examples/cache_cluster.rs
+
+/root/repo/target/debug/examples/cache_cluster-15252f8c65685982: examples/cache_cluster.rs
+
+examples/cache_cluster.rs:

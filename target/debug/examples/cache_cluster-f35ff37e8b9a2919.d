@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_cluster-f35ff37e8b9a2919.d: examples/cache_cluster.rs
+
+/root/repo/target/debug/examples/cache_cluster-f35ff37e8b9a2919: examples/cache_cluster.rs
+
+examples/cache_cluster.rs:

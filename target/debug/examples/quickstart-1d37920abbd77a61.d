@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d37920abbd77a61.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1d37920abbd77a61: examples/quickstart.rs
+
+examples/quickstart.rs:

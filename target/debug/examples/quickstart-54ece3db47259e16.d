@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-54ece3db47259e16.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-54ece3db47259e16: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_graph-395a3301065039f0.d: examples/social_graph.rs
+
+/root/repo/target/debug/examples/social_graph-395a3301065039f0: examples/social_graph.rs
+
+examples/social_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_graph-7e3758dd3dd7cbcc.d: examples/social_graph.rs
+
+/root/repo/target/debug/examples/social_graph-7e3758dd3dd7cbcc: examples/social_graph.rs
+
+examples/social_graph.rs:

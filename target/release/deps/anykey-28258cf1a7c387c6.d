@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anykey-28258cf1a7c387c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-28258cf1a7c387c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-28258cf1a7c387c6.rmeta: src/lib.rs
+
+src/lib.rs:

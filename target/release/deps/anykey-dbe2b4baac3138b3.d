@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anykey-dbe2b4baac3138b3.d: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-dbe2b4baac3138b3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-dbe2b4baac3138b3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/anykey-fa14df08de39a23c.d: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-fa14df08de39a23c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libanykey-fa14df08de39a23c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/anykey_bench-b00ea6a17815240d.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/anykey_bench-b00ea6a17815240d: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

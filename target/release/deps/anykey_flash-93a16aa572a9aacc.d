@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/anykey_flash-93a16aa572a9aacc.d: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+/root/repo/target/release/deps/libanykey_flash-93a16aa572a9aacc.rlib: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+/root/repo/target/release/deps/libanykey_flash-93a16aa572a9aacc.rmeta: crates/flash/src/lib.rs crates/flash/src/address.rs crates/flash/src/allocator.rs crates/flash/src/counters.rs crates/flash/src/geometry.rs crates/flash/src/latency.rs crates/flash/src/sim.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/address.rs:
+crates/flash/src/allocator.rs:
+crates/flash/src/counters.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/latency.rs:
+crates/flash/src/sim.rs:

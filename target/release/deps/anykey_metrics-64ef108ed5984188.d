@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/anykey_metrics-64ef108ed5984188.d: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libanykey_metrics-64ef108ed5984188.rlib: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/libanykey_metrics-64ef108ed5984188.rmeta: crates/metrics/src/lib.rs crates/metrics/src/hist.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/hist.rs:
+crates/metrics/src/report.rs:

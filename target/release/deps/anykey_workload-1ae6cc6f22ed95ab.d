@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/anykey_workload-1ae6cc6f22ed95ab.d: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+/root/repo/target/release/deps/libanykey_workload-1ae6cc6f22ed95ab.rlib: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+/root/repo/target/release/deps/libanykey_workload-1ae6cc6f22ed95ab.rmeta: crates/workload/src/lib.rs crates/workload/src/ops.rs crates/workload/src/rng.rs crates/workload/src/spec.rs crates/workload/src/zipfian.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/ops.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/zipfian.rs:

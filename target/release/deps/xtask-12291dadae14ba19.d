@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/xtask-12291dadae14ba19.d: xtask/src/main.rs xtask/src/lint.rs
+
+/root/repo/target/release/deps/xtask-12291dadae14ba19: xtask/src/main.rs xtask/src/lint.rs
+
+xtask/src/main.rs:
+xtask/src/lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0dad21e40ca6dab1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0dad21e40ca6dab1: examples/quickstart.rs
+
+examples/quickstart.rs:

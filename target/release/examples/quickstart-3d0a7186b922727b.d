@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3d0a7186b922727b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3d0a7186b922727b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libanykey_metrics.rlib: /root/repo/crates/metrics/src/hist.rs /root/repo/crates/metrics/src/lib.rs /root/repo/crates/metrics/src/report.rs

@@ -39,6 +39,8 @@ fn tombstones_shadow_deep_versions() {
         assert!(!dev.get(7).found, "{kind}: tombstone failed to shadow");
         dev.put(7, 33).unwrap();
         assert!(dev.get(7).found, "{kind}: key did not resurrect");
+        dev.check_invariants()
+            .unwrap_or_else(|e| panic!("{kind}: post-churn audit failed: {e}"));
     }
 }
 
@@ -60,8 +62,7 @@ fn value_log_ablation_changes_traffic_shape() {
         let ops = OpStreamBuilder::new(w, keyspace).seed(5).build();
         let report = run(dev.as_mut(), ops, 60_000, DEFAULT_QUEUE_DEPTH).unwrap();
         log_reads.push(
-            report.counters.reads(OpCause::LogRead)
-                + report.counters.writes(OpCause::LogWrite),
+            report.counters.reads(OpCause::LogRead) + report.counters.writes(OpCause::LogWrite),
         );
     }
     assert!(log_reads[0] > 0, "AnyKey+ must exercise the value log");
@@ -127,10 +128,15 @@ fn device_full_is_sticky_and_readable() {
             Err(e) => panic!("unexpected: {e}"),
         }
     };
-    assert!(full_at > 10_000, "device filled suspiciously early: {full_at}");
+    assert!(
+        full_at > 10_000,
+        "device filled suspiciously early: {full_at}"
+    );
     // Reads of previously inserted keys still succeed.
     assert!(dev.get(0).found);
     assert!(dev.get(full_at / 2).found);
+    // Even a device that hit full mid-operation must be structurally sound.
+    dev.check_invariants().expect("post-device-full audit");
 }
 
 /// Key ids beyond the synthesizable range surface KeyTooLarge, not
@@ -174,6 +180,8 @@ fn long_scans_cross_structure_boundaries() {
         assert_eq!(keys[0], 5_000);
         assert_eq!(*keys.last().unwrap(), 5_499);
         assert!(outcome.flash_reads > 0);
+        dev.check_invariants()
+            .unwrap_or_else(|e| panic!("{kind}: post-scan audit failed: {e}"));
     }
 }
 

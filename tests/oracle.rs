@@ -34,11 +34,13 @@ fn drive_against_oracle(kind: EngineKind, seed: u64, n_ops: usize) {
             0..=2 => {
                 // PUT with a size in 20..=120 bytes.
                 let len = 20 + rng.next_bounded(100) as u32;
-                dev.put(key, len).unwrap_or_else(|e| panic!("{kind} put: {e}"));
+                dev.put(key, len)
+                    .unwrap_or_else(|e| panic!("{kind} put: {e}"));
                 oracle.insert(key, len);
             }
             3 => {
-                dev.delete(key).unwrap_or_else(|e| panic!("{kind} delete: {e}"));
+                dev.delete(key)
+                    .unwrap_or_else(|e| panic!("{kind} delete: {e}"));
                 oracle.remove(&key);
             }
             4 if i % 10 == 4 => {
@@ -77,6 +79,8 @@ fn drive_against_oracle(kind: EngineKind, seed: u64, n_ops: usize) {
             assert!(!dev.get(k).found, "{kind} resurrected key {k}");
         }
     }
+    dev.check_invariants()
+        .unwrap_or_else(|e| panic!("{kind} audit after {n_ops} ops: {e}"));
 }
 
 #[test]

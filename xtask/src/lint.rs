@@ -1,0 +1,771 @@
+//! Repo-specific static checks that clippy cannot express.
+//!
+//! `cargo run -p xtask -- lint` walks `crates/**/*.rs` and `tests/**/*.rs`
+//! and enforces:
+//!
+//! - **no-panic** (`rule a`): no `.unwrap()` / `.expect(` / `panic!` in
+//!   non-`#[cfg(test)]` code of `anykey-core` and `anykey-flash`; fallible
+//!   paths must surface typed errors.
+//! - **no-bare-cast** (`rule b`): no bare `as` numeric casts in the flash
+//!   address/geometry/allocator arithmetic — checked conversion helpers
+//!   (`From`/`TryFrom`) are required so narrowing bugs cannot hide.
+//! - **no-wall-clock** (`rule c`): no `std::time` (`Instant`, `SystemTime`)
+//!   anywhere in the simulation crates or integration tests; the simulation
+//!   runs on virtual nanoseconds only.
+//! - **doc-public** (`rule d`): every `pub` item in crate sources carries a
+//!   doc comment (or an explicit `#[doc...]` attribute).
+//! - **deps-hermetic** (`rule e`, also `lint --deps`): no external (registry)
+//!   dependency may enter any workspace `Cargo.toml`; everything must be an
+//!   in-workspace path dependency.
+//!
+//! The scanner is line-based on comment/string-stripped source: precise
+//! enough for these rules, fast, and dependency-free. Every rule is
+//! unit-tested below against a seeded violation and a clean counterexample.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding, pointing at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// The lint rules, named as reported in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!` in non-test engine/flash code.
+    NoPanic,
+    /// No bare `as` numeric casts in flash address arithmetic.
+    NoBareCast,
+    /// No `std::time` in simulation crates.
+    NoWallClock,
+    /// Every public item documented.
+    DocPublic,
+    /// No external dependencies in any manifest.
+    DepsHermetic,
+}
+
+impl Rule {
+    /// Stable diagnostic name for the rule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoBareCast => "no-bare-cast",
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::DocPublic => "doc-public",
+            Rule::DepsHermetic => "deps-hermetic",
+        }
+    }
+}
+
+/// Strips `//` comments, block comments and string/char literal contents,
+/// preserving line structure so reported line numbers stay exact.
+fn strip_noise(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match st {
+            St::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = St::Block(1);
+                    i += 2;
+                    continue;
+                } else if c == 'r'
+                    && (bytes.get(i + 1) == Some(&b'"') || bytes.get(i + 1) == Some(&b'#'))
+                    && !prev_is_ident(&out)
+                {
+                    // Raw string r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push('"');
+                    i += 1;
+                    continue;
+                } else if c == '\'' {
+                    // Char literal or lifetime. A literal closes within a few
+                    // bytes ('x', '\n', '\u{...}'); a lifetime has no closing
+                    // quote nearby — scan ahead conservatively.
+                    if let Some(close) = close_char_literal(bytes, i) {
+                        out.push('\'');
+                        out.push('\'');
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        out.push('"');
+                        i = j;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_ident(out: &str) -> bool {
+    out.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `bytes[start]` opens a char literal, returns the index of its closing
+/// quote; `None` for lifetimes.
+fn close_char_literal(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut j = start + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        j += 1;
+        // Skip escape body up to a generous bound (\u{10FFFF}).
+        let mut k = j;
+        while k < bytes.len() && k - j < 10 && bytes[k] != b'\'' {
+            k += 1;
+        }
+        return (bytes.get(k) == Some(&b'\'')).then_some(k);
+    }
+    // Plain char: exactly one char (possibly multibyte) then a quote.
+    let mut k = j + 1;
+    while k < bytes.len() && k - j < 4 && bytes[k] & 0xC0 == 0x80 {
+        k += 1; // UTF-8 continuation bytes
+    }
+    (bytes.get(k) == Some(&b'\'')).then_some(k)
+}
+
+/// Returns, per line (0-based), whether it sits inside a `#[cfg(test)]`
+/// item (the attribute line itself included).
+fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
+            // Mark until the end of the annotated item: brace-match from the
+            // first `{` at or after this line (handles `mod tests { ... }`
+            // and `#[cfg(test)] fn helper() { ... }`).
+            let start = i;
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened && depth == 0 => {
+                            // `#[cfg(test)] mod tests;` or use-decl: one item.
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(lines.len())).skip(start) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Whether `line` contains a bare `as <numeric-type>` cast.
+fn has_bare_numeric_cast(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        let ty: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if NUMERIC_TYPES.contains(&ty.as_str()) {
+            return true;
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+/// Scope of rules to apply to a file, derived from its workspace-relative
+/// path.
+struct Scope {
+    no_panic: bool,
+    no_bare_cast: bool,
+    no_wall_clock: bool,
+    doc_public: bool,
+}
+
+fn scope_for(rel: &str) -> Scope {
+    // A `tests.rs` module file is pulled in via `#[cfg(test)] mod tests;`
+    // in its parent: the cfg marker lives in the parent file, so treat the
+    // whole file as test code (wall-clock use is still barred there).
+    let whole_file_test = rel.ends_with("/tests.rs");
+    let in_core_or_flash = !whole_file_test
+        && (rel.starts_with("crates/core/src/") || rel.starts_with("crates/flash/src/"));
+    let sim_crate = [
+        "crates/core/",
+        "crates/flash/",
+        "crates/workload/",
+        "crates/metrics/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p));
+    let cast_files = [
+        "crates/flash/src/address.rs",
+        "crates/flash/src/geometry.rs",
+        "crates/flash/src/allocator.rs",
+    ];
+    Scope {
+        no_panic: in_core_or_flash,
+        no_bare_cast: cast_files.contains(&rel),
+        no_wall_clock: sim_crate || rel.starts_with("tests/"),
+        doc_public: !whole_file_test && rel.starts_with("crates/") && rel.contains("/src/"),
+    }
+}
+
+/// Lints one Rust source file; `rel` is its workspace-relative path with
+/// forward slashes.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let scope = scope_for(rel);
+    let stripped = strip_noise(src);
+    let mask = test_region_mask(&stripped);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: Rule, msg: String| {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: line + 1,
+            rule,
+            msg,
+        });
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        let in_test = mask.get(i).copied().unwrap_or(false);
+        if scope.no_panic && !in_test {
+            for (needle, what) in [
+                (".unwrap()", "unwrap()"),
+                (".expect(", "expect()"),
+                ("panic!", "panic!"),
+                ("unreachable!", "unreachable!"),
+            ] {
+                if line.contains(needle) {
+                    push(
+                        i,
+                        Rule::NoPanic,
+                        format!("`{what}` in non-test engine code; return a typed error instead"),
+                    );
+                }
+            }
+        }
+        if scope.no_bare_cast && !in_test && has_bare_numeric_cast(line) {
+            push(
+                i,
+                Rule::NoBareCast,
+                "bare `as` numeric cast in flash address arithmetic; use From/TryFrom helpers"
+                    .to_string(),
+            );
+        }
+        if scope.no_wall_clock && line.contains("std::time") {
+            push(
+                i,
+                Rule::NoWallClock,
+                "wall-clock time in a simulation crate; use virtual `Ns` timestamps".to_string(),
+            );
+        }
+    }
+
+    if scope.doc_public {
+        let orig_lines: Vec<&str> = src.lines().collect();
+        lint_docs(rel, &lines, &orig_lines, &mask, &mut out);
+    }
+    out
+}
+
+/// Flags `pub` items that are not immediately preceded by a doc comment or
+/// `#[doc...]` attribute. `pub(crate)`/`pub(super)` items are not public API
+/// and are skipped. Items are located in the *stripped* source (so `pub fn`
+/// inside doc examples or strings never matches), but doc comments are
+/// looked up in the *original* source, where they still exist.
+fn lint_docs(
+    rel: &str,
+    lines: &[&str],
+    orig_lines: &[&str],
+    mask: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    let pub_starts = [
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub mod ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub use ",
+        "pub unsafe fn ",
+        "pub async fn ",
+    ];
+    for (i, raw) in lines.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = raw.trim_start();
+        if !pub_starts.iter().any(|p| t.starts_with(p)) {
+            continue;
+        }
+        // Walk upwards over attributes to the nearest doc comment.
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let prev = orig_lines.get(j).map_or("", |l| l.trim_start());
+            if prev.starts_with("///") || prev.starts_with("//!") || prev.starts_with("#[doc") {
+                documented = true;
+                break;
+            }
+            if prev.starts_with("#[") || prev.starts_with("#!") {
+                continue; // attribute, keep walking
+            }
+            if prev.ends_with(']') || prev.ends_with(',') || prev.ends_with('(') {
+                // Tail or middle of a multi-line attribute such as
+                // `#[derive(\n    Debug,\n)]` — keep walking.
+                continue;
+            }
+            break;
+        }
+        if !documented {
+            let name: String = t
+                .chars()
+                .take_while(|c| *c != '{' && *c != ';' && *c != '(')
+                .collect();
+            out.push(Violation {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::DocPublic,
+                msg: format!("public item `{}` has no doc comment", name.trim()),
+            });
+        }
+    }
+}
+
+/// Lints a `Cargo.toml` for external (registry) dependencies. Every entry of
+/// a dependency table must be an in-workspace path dependency (`path = ...`
+/// or `.workspace = true` resolving to one).
+pub fn lint_manifest(rel: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_table = false;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            in_dep_table = section == "workspace.dependencies"
+                || section.ends_with("dependencies")
+                || section.contains("dependencies.");
+            // `[dependencies.foo]` style table header.
+            if section.starts_with("dependencies.")
+                || section.starts_with("dev-dependencies.")
+                || section.starts_with("build-dependencies.")
+            {
+                in_dep_table = true;
+            }
+            continue;
+        }
+        if !in_dep_table || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ok = (line.contains("path") && line.contains('='))
+            || line.contains("workspace = true")
+            || line.ends_with(".workspace = true");
+        if !ok {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: Rule::DepsHermetic,
+                msg: format!(
+                    "external dependency `{}` — only in-workspace path dependencies are allowed",
+                    line.split(['=', '.']).next().unwrap_or(line).trim()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collects files under `dir` with the given extension.
+fn walk(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name != "target" && name != ".git" {
+                walk(&path, ext, out);
+            }
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the source lints (and, with `--deps` or by default, the manifest
+/// guard) over the workspace rooted at the parent of `xtask`'s manifest.
+/// Returns the process exit code: 0 clean, 1 violations, 2 usage/IO error.
+pub fn run_cli() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--deps]");
+            return 2;
+        }
+    }
+    let deps_only = args.iter().any(|a| a == "--deps");
+
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("xtask: cannot locate workspace root");
+            return 2;
+        }
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    if deps_only {
+        lint_all_manifests(&root, &mut violations);
+    } else {
+        let mut files = Vec::new();
+        walk(&root.join("crates"), "rs", &mut files);
+        walk(&root.join("tests"), "rs", &mut files);
+        files.sort();
+        for path in files {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                eprintln!("xtask: unreadable file {}", path.display());
+                return 2;
+            };
+            let rel = rel_path(&root, &path);
+            violations.extend(lint_source(&rel, &src));
+        }
+        lint_all_manifests(&root, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        1
+    }
+}
+
+fn lint_all_manifests(root: &Path, violations: &mut Vec<Violation>) {
+    let mut manifests = vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
+    let mut crate_manifests = Vec::new();
+    walk(&root.join("crates"), "toml", &mut crate_manifests);
+    manifests.extend(crate_manifests);
+    manifests.sort();
+    for path in manifests {
+        if let Ok(src) = std::fs::read_to_string(&path) {
+            violations.extend(lint_manifest(&rel_path(root, &path), &src));
+        }
+    }
+}
+
+fn workspace_root() -> Option<PathBuf> {
+    // xtask always lives directly under the workspace root.
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    Path::new(&manifest_dir).parent().map(Path::to_path_buf)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(vs: &[Violation]) -> Vec<Rule> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    // --- rule a: no-panic ------------------------------------------------
+
+    #[test]
+    fn whole_file_test_modules_are_exempt() {
+        // Included via `#[cfg(test)] mod tests;` in the parent file, so the
+        // cfg marker is not visible here.
+        let src = "fn helper() {\n    Some(1).unwrap();\n}\n";
+        assert!(lint_source("crates/core/src/pink/tests.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_in_engine_code() {
+        let src = "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let vs = lint_source("crates/core/src/foo.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoPanic]);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn flags_expect_and_panic() {
+        let src = "fn f() {\n    let _ = g().expect(\"boom\");\n    panic!(\"no\");\n}\n";
+        let vs = lint_source("crates/flash/src/sim.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoPanic, Rule::NoPanic]);
+    }
+
+    #[test]
+    fn allows_unwrap_inside_cfg_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_source("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allows_unwrap_outside_engine_crates() {
+        let src = "fn f() {\n    Some(1).unwrap();\n}\n";
+        assert!(lint_source("crates/bench/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_in_comments_and_strings() {
+        let src = "// call .unwrap() here\nfn f() {\n    let _ = \"panic! .unwrap()\";\n}\n";
+        assert!(lint_source("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    // --- rule b: no-bare-cast --------------------------------------------
+
+    #[test]
+    fn flags_bare_cast_in_flash_geometry() {
+        let src = "fn f(x: u32) -> u64 {\n    x as u64\n}\n";
+        let vs = lint_source("crates/flash/src/geometry.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoBareCast]);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn allows_checked_conversion_in_flash_geometry() {
+        let src = "fn f(x: u32) -> u64 {\n    u64::from(x)\n}\n";
+        assert!(lint_source("crates/flash/src/geometry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allows_cast_outside_target_files() {
+        let src = "fn f(x: u32) -> u64 {\n    x as u64\n}\n";
+        assert!(lint_source("crates/flash/src/latency.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::NoBareCast));
+    }
+
+    #[test]
+    fn as_in_identifier_or_import_is_not_a_cast() {
+        let src = "use x::y as z;\nfn f() {\n    let assign = 1;\n    let _ = assign;\n}\n";
+        assert!(lint_source("crates/flash/src/address.rs", src).is_empty());
+    }
+
+    // --- rule c: no-wall-clock -------------------------------------------
+
+    #[test]
+    fn flags_std_time_in_simulation_crate() {
+        let src = "use std::time::Instant;\n";
+        let vs = lint_source("crates/workload/src/lib.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoWallClock]);
+    }
+
+    #[test]
+    fn flags_std_time_in_integration_tests() {
+        let src = "fn t() {\n    let _ = std::time::SystemTime::now();\n}\n";
+        let vs = lint_source("tests/oracle.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoWallClock]);
+    }
+
+    #[test]
+    fn allows_std_time_in_bench_harness() {
+        let src = "use std::time::Instant;\n";
+        assert!(lint_source("crates/bench/src/main.rs", src).is_empty());
+    }
+
+    // --- rule d: doc-public ----------------------------------------------
+
+    #[test]
+    fn flags_undocumented_public_fn() {
+        let src = "pub fn naked() {}\n";
+        let vs = lint_source("crates/metrics/src/lib.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::DocPublic]);
+        assert!(vs[0].msg.contains("naked"));
+    }
+
+    #[test]
+    fn accepts_documented_public_items() {
+        let src = "/// Does a thing.\npub fn documented() {}\n\n/// A type.\n#[derive(Debug)]\npub struct S;\n";
+        assert!(lint_source("crates/metrics/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn accepts_doc_attribute() {
+        let src = "#[doc(hidden)]\npub fn hook() {}\n";
+        assert!(lint_source("crates/core/src/audit.rs", src).is_empty());
+    }
+
+    #[test]
+    fn skips_pub_crate_items() {
+        let src = "pub(crate) fn helper() {}\n";
+        assert!(lint_source("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    // --- rule e: deps-hermetic -------------------------------------------
+
+    #[test]
+    fn flags_registry_dependency() {
+        let toml = "[package]\nname = \"x\"\n\n[dev-dependencies]\nrand = \"0.8\"\n";
+        let vs = lint_manifest("crates/core/Cargo.toml", toml);
+        assert_eq!(rules(&vs), vec![Rule::DepsHermetic]);
+        assert!(vs[0].msg.contains("rand"));
+    }
+
+    #[test]
+    fn accepts_path_and_workspace_dependencies() {
+        let toml = "[workspace.dependencies]\nanykey-flash = { path = \"crates/flash\" }\n\n[dependencies]\nanykey-flash.workspace = true\n";
+        assert!(lint_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[features]\ncriterion = []\n";
+        assert!(lint_manifest("crates/bench/Cargo.toml", toml).is_empty());
+    }
+
+    // --- infrastructure --------------------------------------------------
+
+    #[test]
+    fn test_region_mask_covers_nested_braces() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {\n        if true {}\n    }\n}\nfn c() {}\n";
+        let mask = test_region_mask(src);
+        assert_eq!(mask, vec![false, true, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn strip_noise_preserves_line_numbers() {
+        let src = "a\n/* multi\nline */ b\n\"str\nacross\" c\n";
+        let stripped = strip_noise(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+    }
+}

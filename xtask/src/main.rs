@@ -1,0 +1,12 @@
+//! `cargo run -p xtask -- lint [--deps]` — repo-specific static checks.
+//!
+//! See the [`lint`] module for the rule set: panic-freedom of the engine
+//! crates, checked casts in flash address arithmetic, virtual-clock
+//! discipline, public-item documentation, and the dependency hermeticity
+//! guard.
+
+mod lint;
+
+fn main() {
+    std::process::exit(lint::run_cli());
+}
