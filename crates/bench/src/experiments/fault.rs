@@ -1,0 +1,65 @@
+//! **Fault sweep** — graceful degradation under injected media faults
+//! (not a paper figure; the paper evaluates on FEMU's perfect media).
+//!
+//! Sweeps the raw read-error rate (program/erase failure rates scale with
+//! it — see [`anykey_flash::FaultModel::uniform`]) and reports throughput,
+//! read p99, and the reliability counters for PinK and AnyKey+. Expected
+//! shape: both engines complete every rate without panicking; retries and
+//! retirements grow with the rate; throughput and p99 degrade smoothly
+//! rather than falling off a cliff.
+
+use anykey_core::EngineKind;
+use anykey_flash::FaultModel;
+use anykey_metrics::report::{fmt_count, fmt_ppm};
+use anykey_metrics::Table;
+use anykey_workload::spec;
+
+use crate::common::{emit, kiops, lat, ExpCtx};
+
+/// Read-error rates swept, in errors per million page reads.
+const RATES_PPM: [u32; 5] = [0, 100, 500, 2_000, 10_000];
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpCtx) {
+    let Some(w) = spec::ALL.iter().copied().find(|w| w.name == "UDB") else {
+        eprintln!("fault: UDB workload spec missing");
+        return;
+    };
+    let mut t = Table::new(
+        "Fault sweep: throughput and tail latency vs raw read-error rate (UDB)",
+        &[
+            "system",
+            "read-err",
+            "kIOPS",
+            "p99 read",
+            "p99 write",
+            "retries",
+            "prog-fails",
+            "retired",
+            "free-blocks",
+        ],
+    );
+    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+        for ppm in RATES_PPM {
+            let fault = if ppm == 0 {
+                FaultModel::disabled()
+            } else {
+                FaultModel::uniform(ctx.scale.seed ^ u64::from(ppm), ppm)
+            };
+            let cfg = ctx.scale.device_faulty(kind, w, fault);
+            let s = ctx.run_with(kind, w, anykey_workload::KeyDist::default(), 0.2, Some(cfg));
+            t.row([
+                kind.to_string(),
+                fmt_ppm(ppm),
+                kiops(s.report.iops()),
+                lat(s.report.reads.quantile(0.99)),
+                lat(s.report.writes.quantile(0.99)),
+                fmt_count(s.report.media_retries()),
+                fmt_count(s.meta.program_fails),
+                fmt_count(s.meta.retired_blocks),
+                fmt_count(s.meta.free_blocks),
+            ]);
+        }
+    }
+    emit(&t, &ctx.scale.out("fault.csv"));
+}

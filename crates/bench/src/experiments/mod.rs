@@ -1,6 +1,9 @@
 //! One module per paper table/figure. Each exposes
 //! `pub fn run(ctx: &ExpCtx)`.
 
+/// Media fault-injection sweep: graceful degradation under read/program/
+/// erase faults (not a paper figure).
+pub mod fault;
 /// Figure 10: throughput across the Table 1 workloads.
 pub mod fig10;
 /// Figure 11: read/write latency distributions.
@@ -37,7 +40,7 @@ pub mod table3;
 use crate::common::ExpCtx;
 
 /// All experiment ids in paper order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "table1",
     "fig2",
     "table3",
@@ -53,6 +56,7 @@ pub const ALL: [&str; 15] = [
     "fig19",
     "scalability",
     "multitenant",
+    "fault",
 ];
 
 /// Dispatches one experiment by id; returns false for unknown ids.
@@ -73,6 +77,7 @@ pub fn dispatch(id: &str, ctx: &ExpCtx) -> bool {
         "fig19" => fig19::run(ctx),
         "scalability" => scalability::run(ctx),
         "multitenant" => multitenant::run(ctx),
+        "fault" => fault::run(ctx),
         "probe" => probe::run(ctx),
         _ => return false,
     }

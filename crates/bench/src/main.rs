@@ -21,6 +21,7 @@ fn usage() -> ! {
            --ops-factor F    measured ops as multiple of capacity (default 2.0)\n\
            --out DIR         CSV output directory (default results/)\n\
            --seed S          RNG seed\n\
+           --bg-residual-ns N  residual fg wait after a bg suspend (default 100000)\n\
            --quick           small/fast smoke scale",
         experiments::ALL.join(" ")
     );
@@ -66,6 +67,13 @@ fn main() {
             "--seed" => {
                 i += 1;
                 scale.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--bg-residual-ns" => {
+                i += 1;
+                scale.bg_residual_ns = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());

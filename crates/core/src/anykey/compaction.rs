@@ -150,7 +150,7 @@ impl AnyKeyStore {
                     let log = self.log.as_mut().ok_or(KvError::Internal {
                         context: "log-triggered compaction requires a log",
                     })?;
-                    let (_, tr) = log.reclaim(&mut self.flash, t);
+                    let (_, tr) = log.reclaim(&mut self.flash, t)?;
                     t = tr;
                     // Deep levels own the oldest log blocks; stop as soon
                     // as enough space is free so the hot upper-level
@@ -246,7 +246,7 @@ impl AnyKeyStore {
         let log = self.log.as_mut().ok_or(KvError::Internal {
             context: "log-triggered compaction requires a log",
         })?;
-        let (freed, t) = log.reclaim(&mut self.flash, t);
+        let (freed, t) = log.reclaim(&mut self.flash, t)?;
         if std::env::var("ANYKEY_DEBUG").is_ok() {
             eprintln!(
                 "log-triggered: src={src} last={last} escalate={escalate} freed={}KB log_free={}KB levels={}",
@@ -320,24 +320,22 @@ impl AnyKeyStore {
                     &mut self.flash,
                     g.first_ppa.block,
                     t_read,
-                ));
+                )?);
             }
         }
 
         // Pass 3: rebuild and place.
-        let mut write_ppas: Vec<Ppa> = Vec::new();
+        let mut t_write = t_read;
         for ents in runs {
             for c in pack_groups(ents, self.page_payload, self.cfg.group_pages.max(2)) {
-                let ppa = self.area.place(c.total_pages())?;
-                write_ppas.extend((0..c.total_pages()).map(|i| ppa.offset(i)));
+                let (ppa, td) =
+                    self.place_group(c.total_pages(), OpCause::CompactionWrite, t_read)?;
+                t_write = t_write.max(td);
                 out.push(Group::new(c, ppa));
             }
         }
         // No seal: partial rewrites happen every log cycle, and sealing
         // here would strand block tails faster than GC reclaims them.
-        let t_write = self
-            .flash
-            .program_many(write_ppas, OpCause::CompactionWrite, t_read);
         out.sort_by(|a, b| a.content.smallest().cmp(&b.content.smallest()));
         self.levels[li].groups = out;
         self.levels[li].recount();
@@ -533,7 +531,7 @@ impl AnyKeyStore {
                             &mut store.flash,
                             g.first_ppa.block,
                             t,
-                        ));
+                        )?);
                     }
                 }
                 Ok(done)
@@ -546,17 +544,15 @@ impl AnyKeyStore {
         // --- 5. Build and place the new groups. ------------------------
         let merged_count = merged.len() as u64;
         let contents = pack_groups(merged, self.page_payload, self.cfg.group_pages.max(2));
-        let mut write_ppas: Vec<Ppa> = Vec::new();
+        let mut t_write = t_inputs;
         let mut new_groups = Vec::with_capacity(contents.len());
         for c in contents {
-            let ppa = self.area.place(c.total_pages())?;
-            write_ppas.extend((0..c.total_pages()).map(|i| ppa.offset(i)));
+            let (ppa, td) =
+                self.place_group(c.total_pages(), OpCause::CompactionWrite, t_inputs)?;
+            t_write = t_write.max(td);
             new_groups.push(Group::new(c, ppa));
         }
         self.area.seal(); // keep blocks single-level (Section 4.4.4)
-        let t_write = self
-            .flash
-            .program_many(write_ppas, OpCause::CompactionWrite, t_inputs);
 
         // --- 6. Update the level and its accounting. -------------------
         self.levels[dst].groups = new_groups;

@@ -94,13 +94,32 @@ impl GroupArea {
         Ok(e.0 == 0 && self.open.map(|(b, _)| b) != Some(block))
     }
 
-    /// Erases and frees a block that [`Self::release`] reported empty.
-    pub fn erase_empty(&mut self, flash: &mut FlashSim, block: BlockId, at: Ns) -> Ns {
+    /// Erases and frees a block that [`Self::release`] reported empty. A
+    /// block whose erase fails is retired as a grown bad block instead of
+    /// returning to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::BlockFree`] if the allocator rejects the free or
+    /// retire — an internal accounting bug, not a media condition.
+    pub fn erase_empty(
+        &mut self,
+        flash: &mut FlashSim,
+        block: BlockId,
+        at: Ns,
+    ) -> Result<Ns, KvError> {
         debug_assert_eq!(self.valid.get(&block).map(|e| e.0), Some(0));
         self.valid.remove(&block);
-        let done = flash.erase(block, at);
-        self.alloc.free(block);
-        done
+        if self.open.map(|(b, _)| b) == Some(block) {
+            self.open = None;
+        }
+        let r = flash.erase(block, at);
+        if r.status.is_ok() {
+            self.alloc.free(block)?;
+        } else {
+            self.alloc.retire(block)?;
+        }
+        Ok(r.done)
     }
 
     /// The sealed block with the fewest valid *pages* (but at least one
@@ -120,6 +139,31 @@ impl GroupArea {
         self.valid.get(&block).map(|e| e.0).unwrap_or(0)
     }
 
+    /// Number of blocks retired as grown bad blocks.
+    pub fn retired_blocks(&self) -> usize {
+        self.alloc.retired_count()
+    }
+
+    /// The area's block allocator (reliability stats and audits).
+    pub fn allocator(&self) -> &BlockAllocator {
+        &self.alloc
+    }
+
+    /// Test-only corruption hook: retires `block` regardless of media
+    /// state.
+    #[doc(hidden)]
+    pub fn retire_for_test(&mut self, block: BlockId) {
+        let _ = self.alloc.retire(block);
+    }
+
+    /// Test-only corruption hook: desynchronizes the allocator's
+    /// retired-block count (forwards to
+    /// [`anykey_flash::BlockAllocator::desync_retired_for_test`]).
+    #[doc(hidden)]
+    pub fn desync_retired_for_test(&mut self) {
+        self.alloc.desync_retired_for_test();
+    }
+
     /// The first block claiming more valid pages than an erase block
     /// holds, as `(block id, valid pages, pages per block)` — `None` on a
     /// healthy area. Used by the invariant auditor.
@@ -131,7 +175,47 @@ impl GroupArea {
     }
 }
 
+/// Upper bound on consecutive placement retries after program failures;
+/// exceeding it means the media is failing essentially every program, and
+/// the device gives up with [`KvError::DeviceFull`] rather than spinning.
+const MAX_PLACE_ATTEMPTS: usize = 512;
+
 impl AnyKeyStore {
+    /// Places a `pages`-page group and programs all of its pages,
+    /// re-placing the whole group when any page program fails (groups must
+    /// be page-contiguous). Failed spans stay consumed in their block; a
+    /// block left with no valid groups by the recovery is erased (or
+    /// retired) immediately so it cannot leak.
+    pub(crate) fn place_group(
+        &mut self,
+        pages: u32,
+        cause: OpCause,
+        at: Ns,
+    ) -> Result<(Ppa, Ns), KvError> {
+        let mut done = at;
+        let mut attempts = 0usize;
+        'place: loop {
+            attempts += 1;
+            if attempts > MAX_PLACE_ATTEMPTS {
+                self.debug_full("group placement kept failing");
+                return Err(KvError::DeviceFull);
+            }
+            let first = self.area.place(pages)?;
+            for i in 0..pages {
+                let r = self.flash.program(first.offset(i), cause, at);
+                done = done.max(r.done);
+                if !r.status.is_ok() {
+                    let sealed_empty = self.area.release(first.block, pages)?;
+                    if sealed_empty || self.area.valid_in(first.block) == 0 {
+                        done = done.max(self.area.erase_empty(&mut self.flash, first.block, at)?);
+                    }
+                    continue 'place;
+                }
+            }
+            return Ok((first, done));
+        }
+    }
+
     /// Ensures at least `reserve_blocks` free blocks exist in the group
     /// area, relocating valid groups out of the fullest-garbage blocks when
     /// needed.
@@ -211,18 +295,14 @@ impl AnyKeyStore {
         let mut done = t_read;
         for &(li, gi) in &homes {
             let pages = self.levels[li].groups[gi].content.total_pages();
-            let new_ppa = self.area.place(pages)?;
-            let write_ppas: Vec<Ppa> = (0..pages).map(|i| new_ppa.offset(i)).collect();
-            done = done.max(
-                self.flash
-                    .program_many(write_ppas, OpCause::GcWrite, t_read),
-            );
+            let (new_ppa, td) = self.place_group(pages, OpCause::GcWrite, t_read)?;
+            done = done.max(td);
             self.levels[li].groups[gi].first_ppa = new_ppa;
             // Deferred: the victim is erased below once all groups are out.
             self.area.release(victim, pages)?;
         }
         debug_assert_eq!(self.area.valid_in(victim), 0);
-        done = done.max(self.area.erase_empty(&mut self.flash, victim, done));
+        done = done.max(self.area.erase_empty(&mut self.flash, victim, done)?);
         #[cfg(any(test, feature = "strict-invariants"))]
         self.verify_invariants()?;
         Ok(done)

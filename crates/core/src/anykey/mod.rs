@@ -80,13 +80,16 @@ impl AnyKeyStore {
         );
         let group_range = 0..(total_blocks - log_blocks);
         let page_payload = cfg.page_payload() as u64;
+        // Under fault injection both regions allocate least-erased-first so
+        // wear (and the wear-dependent error rates) spreads evenly.
+        let wear_aware = cfg.flash.fault.is_enabled();
         let log = (log_blocks > 0).then(|| {
-            ValueLog::new(
-                BlockAllocator::new(total_blocks - log_blocks..total_blocks),
-                page_payload,
-                geometry.pages_per_block,
-            )
+            let mut la = BlockAllocator::new(total_blocks - log_blocks..total_blocks);
+            la.set_wear_aware(wear_aware);
+            ValueLog::new(la, page_payload, geometry.pages_per_block)
         });
+        let mut ga = BlockAllocator::new(group_range);
+        ga.set_wear_aware(wear_aware);
         let dram = DramBudget::new(
             cfg.dram_bytes,
             cfg.write_buffer_bytes.min(cfg.dram_bytes / 2),
@@ -94,7 +97,7 @@ impl AnyKeyStore {
         Self {
             buffer: WriteBuffer::new(cfg.write_buffer_bytes),
             levels: vec![Level::new(cfg.write_buffer_bytes * cfg.level_ratio)],
-            area: GroupArea::new(BlockAllocator::new(group_range), geometry.pages_per_block),
+            area: GroupArea::new(ga, geometry.pages_per_block),
             log,
             dram,
             page_payload,
@@ -234,7 +237,7 @@ impl AnyKeyStore {
             };
             loop {
                 let ppa = self.levels[li].groups[gi].data_ppa(p);
-                t = self.flash.read(ppa, OpCause::HostRead, t);
+                t = self.flash.read(ppa, OpCause::HostRead, t).done;
                 reads += 1;
                 let (found, span_ppas) = {
                     let g = &self.levels[li].groups[gi].content;
@@ -605,6 +608,18 @@ impl KvEngine for AnyKeyStore {
             levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
             live_unique_bytes: self.live_bytes,
             value_log_used_bytes: self.log.as_ref().map_or(0, ValueLog::valid_bytes),
+            retry_reads: self.flash.counters().total_retry_reads(),
+            program_fails: self.flash.counters().program_fails(),
+            erase_fails: self.flash.counters().erase_fails(),
+            retired_blocks: (self.area.retired_blocks()
+                + self
+                    .log
+                    .as_ref()
+                    .map_or(0, |l| l.allocator().retired_count()))
+                as u64,
+            free_blocks: (self.area.free_blocks()
+                + self.log.as_ref().map_or(0, |l| l.allocator().free_count()))
+                as u64,
         }
     }
 

@@ -99,19 +99,29 @@ impl ValueLog {
     }
 
     fn seal_open(&mut self, flash: &mut FlashSim, at: Ns) -> Ns {
-        let Some(o) = self.open.take() else {
+        let Some(mut o) = self.open.take() else {
             return at;
         };
         let mut done = at;
         if o.page_fill > 0 {
-            done = flash.program(
-                Ppa {
-                    block: o.id,
-                    page: o.next_page,
-                },
-                OpCause::LogWrite,
-                at,
-            );
+            // Retry the partial tail on successive pages if the program
+            // fails; if the block runs out, the tail stays on its marginal
+            // page (the co-packed approximation — see DESIGN.md §9).
+            while o.next_page < self.pages_per_block {
+                let r = flash.program(
+                    Ppa {
+                        block: o.id,
+                        page: o.next_page,
+                    },
+                    OpCause::LogWrite,
+                    at,
+                );
+                done = done.max(r.done);
+                o.next_page += 1;
+                if r.status.is_ok() {
+                    break;
+                }
+            }
         }
         if let Some(b) = self.blocks.get_mut(&o.id) {
             b.sealed = true;
@@ -144,59 +154,66 @@ impl ValueLog {
         );
         let mut done = at;
 
-        let mut o = self.open_block()?;
-        // If the value cannot fit in this block's remaining pages, seal the
-        // block and start a fresh one (values never span blocks).
-        let remaining =
-            (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill;
-        if len > remaining {
-            done = done.max(self.seal_open(flash, at));
-            o = self.open_block()?;
-        }
-
-        let start_page = o.next_page;
-        let mut left = len;
-        let mut pages_touched = 0u8;
-        while left > 0 {
-            let room = self.page_payload - o.page_fill;
-            let take = left.min(room);
-            o.page_fill += take;
-            left -= take;
-            pages_touched += 1;
-            if o.page_fill == self.page_payload {
-                // Page full: program it.
-                done = done.max(flash.program(
-                    Ppa {
-                        block: o.id,
-                        page: o.next_page,
-                    },
-                    OpCause::LogWrite,
-                    at,
-                ));
-                o.next_page += 1;
-                o.page_fill = 0;
+        // Values must be page-contiguous within one block, so a failed
+        // page program restarts the whole value past the bad page (which
+        // stays consumed); when the block runs out of room the value moves
+        // to a fresh block. Each retry consumes at least one page, so the
+        // loop terminates in [`KvError::DeviceFull`] at worst.
+        let (block, start_page, pages_touched, end_page) = 'place: loop {
+            let mut o = self.open_block()?;
+            // If the value cannot fit in this block's remaining pages, seal
+            // the block and start a fresh one (values never span blocks).
+            let remaining =
+                (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill;
+            if len > remaining {
+                done = done.max(self.seal_open(flash, at));
+                o = self.open_block()?;
             }
-        }
-        // A value ending exactly at a page boundary still occupies only the
-        // pages it touched.
-        if o.page_fill == 0 && pages_touched > 0 {
-            // start_page..next_page were all programmed.
-        }
-        self.open = Some(o);
+            let start_page = o.next_page;
+            let mut left = len;
+            let mut pages_touched = 0u8;
+            while left > 0 {
+                let room = self.page_payload - o.page_fill;
+                let take = left.min(room);
+                o.page_fill += take;
+                left -= take;
+                pages_touched += 1;
+                if o.page_fill == self.page_payload {
+                    // Page full: program it.
+                    let r = flash.program(
+                        Ppa {
+                            block: o.id,
+                            page: o.next_page,
+                        },
+                        OpCause::LogWrite,
+                        at,
+                    );
+                    done = done.max(r.done);
+                    o.next_page += 1;
+                    o.page_fill = 0;
+                    if !r.status.is_ok() {
+                        self.open = Some(o);
+                        continue 'place;
+                    }
+                }
+            }
+            self.open = Some(o);
+            break (o.id, start_page, pages_touched, o.next_page);
+        };
         self.blocks
-            .get_mut(&o.id)
+            .get_mut(&block)
             .ok_or(KvError::UntrackedBlock {
-                block: o.id.0,
+                block: block.0,
                 owner: "value log",
             })?
             .valid_bytes += len;
         // Block exhausted: seal it so reclaim can consider it.
-        if o.next_page == self.pages_per_block {
+        if end_page == self.pages_per_block {
             done = done.max(self.seal_open(flash, at));
         }
         Ok((
             LogPtr {
-                block: o.id,
+                block,
                 page: start_page,
                 pages: pages_touched,
             },
@@ -214,8 +231,14 @@ impl ValueLog {
     }
 
     /// Erases every sealed, fully-invalid block; returns the bytes freed
-    /// and the erase completion time.
-    pub fn reclaim(&mut self, flash: &mut FlashSim, at: Ns) -> (u64, Ns) {
+    /// and the erase completion time. A block whose erase fails is retired
+    /// (its capacity is lost, not freed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::BlockFree`] if the allocator rejects a free or
+    /// retire — an internal accounting bug, not a media condition.
+    pub fn reclaim(&mut self, flash: &mut FlashSim, at: Ns) -> Result<(u64, Ns), KvError> {
         let victims: Vec<BlockId> = self
             .blocks
             .iter()
@@ -223,13 +246,19 @@ impl ValueLog {
             .map(|(&id, _)| id)
             .collect();
         let mut done = at;
-        let freed = victims.len() as u64 * self.block_payload();
+        let mut freed = 0u64;
         for id in victims {
-            done = done.max(flash.erase(id, at));
+            let r = flash.erase(id, at);
+            done = done.max(r.done);
             self.blocks.remove(&id);
-            self.alloc.free(id);
+            if r.status.is_ok() {
+                self.alloc.free(id)?;
+                freed += self.block_payload();
+            } else {
+                self.alloc.retire(id)?;
+            }
         }
-        (freed, done)
+        Ok((freed, done))
     }
 
     /// Reads the value at `ptr`; returns the completion time.
@@ -248,6 +277,11 @@ impl ValueLog {
     /// Number of blocks in the log region.
     pub fn block_count(&self) -> usize {
         self.alloc.len()
+    }
+
+    /// The log's block allocator (reliability stats and audits).
+    pub fn allocator(&self) -> &BlockAllocator {
+        &self.alloc
     }
 
     /// The first block whose tracked valid bytes exceed the erase-block
@@ -347,7 +381,7 @@ mod tests {
         while log.blocks.get(&first).map(|b| !b.sealed).unwrap_or(false) {
             ptrs.push(log.append(&mut flash, 4000, 0).unwrap().0);
         }
-        let (freed, _) = log.reclaim(&mut flash, 0);
+        let (freed, _) = log.reclaim(&mut flash, 0).unwrap();
         assert_eq!(freed, block_payload);
         assert_eq!(flash.counters().erases(), 1);
     }

@@ -17,6 +17,10 @@
 //!   to their independent totals ([`anykey_flash::FlashCounters::audit`]).
 //! * **Block accounting** — no group-area block claims more valid pages
 //!   than an erase block holds.
+//! * **Retirement accounting** — every block allocator's
+//!   free/allocated/retired partition sums to its block count, and no live
+//!   structure (group, logged value, meta segment, level-list page, or
+//!   data pointer) references a block retired as a grown bad block.
 //!
 //! The engines invoke the audit automatically at flush / compaction / GC
 //! boundaries in test builds and under the `strict-invariants` cargo
@@ -122,6 +126,39 @@ pub enum AuditError {
         /// The structure's index within the level.
         index: usize,
     },
+    /// A live structure still references a block that was retired as a
+    /// grown bad block.
+    RetiredBlockLive {
+        /// The retired block id.
+        block: u32,
+        /// Which region's metadata still references it.
+        owner: &'static str,
+    },
+    /// A block allocator's free/allocated/retired partition no longer sums
+    /// to its block count (see [`anykey_flash::BlockAllocator::audit`]).
+    RetirementSkew {
+        /// Which region's allocator diverged.
+        owner: &'static str,
+        /// Blocks in the free pool.
+        free: usize,
+        /// Blocks marked allocated.
+        allocated: usize,
+        /// Blocks marked retired.
+        retired: usize,
+        /// Total blocks the allocator manages.
+        total: usize,
+    },
+}
+
+/// Wraps an allocator's [`anykey_flash::AllocSkew`] with its owning region.
+fn retirement_skew(owner: &'static str, s: anykey_flash::AllocSkew) -> AuditError {
+    AuditError::RetirementSkew {
+        owner,
+        free: s.free,
+        allocated: s.allocated,
+        retired: s.retired,
+        total: s.total,
+    }
 }
 
 impl fmt::Display for AuditError {
@@ -178,6 +215,20 @@ impl fmt::Display for AuditError {
             AuditError::MissingSpillLocation { level, index } => write!(
                 f,
                 "spilled structure {index} of level {level} has no flash location"
+            ),
+            AuditError::RetiredBlockLive { block, owner } => write!(
+                f,
+                "retired block B{block} is still referenced by live {owner} metadata"
+            ),
+            AuditError::RetirementSkew {
+                owner,
+                free,
+                allocated,
+                retired,
+                total,
+            } => write!(
+                f,
+                "{owner} retirement accounting skew: free {free} + allocated {allocated} + retired {retired} != {total} total blocks"
             ),
         }
     }
@@ -288,6 +339,43 @@ impl AnyKeyStore {
             });
         }
 
+        // Retirement accounting: allocator partitions conserve, and no
+        // live group or logged value sits in a retired block.
+        if let Err(s) = self.area.allocator().audit() {
+            return Err(retirement_skew("group area", s));
+        }
+        for level in &self.levels {
+            for g in &level.groups {
+                for ppa in g.all_ppas() {
+                    if self.area.allocator().is_retired(ppa.block) {
+                        return Err(AuditError::RetiredBlockLive {
+                            block: ppa.block.0,
+                            owner: "group area",
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(log) = &self.log {
+            if let Err(s) = log.allocator().audit() {
+                return Err(retirement_skew("value log", s));
+            }
+            for level in &self.levels {
+                for g in &level.groups {
+                    for e in g.content.iter_key_order() {
+                        if let crate::anykey::entity::ValueLoc::Logged(ptr) = e.loc {
+                            if log.allocator().is_retired(ptr.block) {
+                                return Err(AuditError::RetiredBlockLive {
+                                    block: ptr.block.0,
+                                    owner: "value log",
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         // Cause-tagged flash counter conservation.
         self.flash.counters().audit()?;
         Ok(())
@@ -320,6 +408,34 @@ impl AnyKeyStore {
     #[doc(hidden)]
     pub fn desync_counters_for_test(&mut self) {
         self.flash.desync_counters_for_test();
+    }
+
+    /// Test-only corruption hook: retires the block backing the first live
+    /// group without relocating it, leaving a live PPA pointing into a
+    /// retired block. Returns whether a live group existed.
+    #[doc(hidden)]
+    pub fn retire_live_block_for_test(&mut self) -> bool {
+        let mut victim = None;
+        for level in &self.levels {
+            if let Some(g) = level.groups.first() {
+                victim = Some(g.first_ppa.block);
+                break;
+            }
+        }
+        match victim {
+            Some(b) => {
+                self.area.retire_for_test(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Test-only corruption hook: desynchronizes the group-area
+    /// allocator's retired-block count from its per-block flags.
+    #[doc(hidden)]
+    pub fn desync_retirement_for_test(&mut self) {
+        self.area.desync_retired_for_test();
     }
 }
 
@@ -390,6 +506,41 @@ impl PinkStore {
             });
         }
 
+        // Retirement accounting: the allocator partition conserves, and no
+        // live data pointer, meta segment, or level-list page sits in a
+        // retired block.
+        if let Err(s) = self.alloc.audit() {
+            return Err(retirement_skew("PinK", s));
+        }
+        for level in &self.levels {
+            for ppa in &level.list_pages {
+                if self.alloc.is_retired(ppa.block) {
+                    return Err(AuditError::RetiredBlockLive {
+                        block: ppa.block.0,
+                        owner: "level list",
+                    });
+                }
+            }
+            for seg in &level.segs {
+                if let Some(ppa) = seg.ppa {
+                    if self.alloc.is_retired(ppa.block) {
+                        return Err(AuditError::RetiredBlockLive {
+                            block: ppa.block.0,
+                            owner: "meta segment",
+                        });
+                    }
+                }
+                for e in &seg.entries {
+                    if !e.tombstone && self.alloc.is_retired(e.ptr.block) {
+                        return Err(AuditError::RetiredBlockLive {
+                            block: e.ptr.block.0,
+                            owner: "data area",
+                        });
+                    }
+                }
+            }
+        }
+
         // Cause-tagged flash counter conservation.
         self.flash.counters().audit()?;
         Ok(())
@@ -400,6 +551,38 @@ impl PinkStore {
     #[doc(hidden)]
     pub fn desync_counters_for_test(&mut self) {
         self.flash.desync_counters_for_test();
+    }
+
+    /// Test-only corruption hook: retires the data block of the first live
+    /// entry without relocating it, leaving a live data pointer into a
+    /// retired block. Returns whether a live entry existed.
+    #[doc(hidden)]
+    pub fn retire_live_block_for_test(&mut self) -> bool {
+        let mut victim = None;
+        'search: for level in &self.levels {
+            for seg in &level.segs {
+                for e in &seg.entries {
+                    if !e.tombstone {
+                        victim = Some(e.ptr.block);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        match victim {
+            Some(b) => {
+                let _ = self.alloc.retire(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Test-only corruption hook: desynchronizes the allocator's
+    /// retired-block count from its per-block flags.
+    #[doc(hidden)]
+    pub fn desync_retirement_for_test(&mut self) {
+        self.alloc.desync_retired_for_test();
     }
 }
 
@@ -470,6 +653,29 @@ mod tests {
     }
 
     #[test]
+    fn retired_block_with_live_group_is_detected() {
+        let mut s = filled(EngineKind::AnyKey);
+        assert!(s.retire_live_block_for_test(), "need a live group");
+        assert!(matches!(
+            s.verify_invariants(),
+            Err(AuditError::RetiredBlockLive {
+                owner: "group area",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn retirement_desync_is_detected() {
+        let mut s = filled(EngineKind::AnyKey);
+        s.desync_retirement_for_test();
+        assert!(matches!(
+            s.verify_invariants(),
+            Err(AuditError::RetirementSkew { .. })
+        ));
+    }
+
+    #[test]
     fn pink_passes_audit_after_fill() {
         let mut p = PinkStore::new(
             DeviceConfig::builder()
@@ -504,11 +710,29 @@ mod tests {
                 total: 4,
             }
             .to_string(),
+            AuditError::RetiredBlockLive {
+                block: 7,
+                owner: "group area",
+            }
+            .to_string(),
+            AuditError::RetirementSkew {
+                owner: "PinK",
+                free: 1,
+                allocated: 2,
+                retired: 3,
+                total: 7,
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("key order"));
         assert!(msgs[1].contains("over budget"));
         assert!(msgs[2].contains("counter skew"));
-        assert_ne!(msgs[0], msgs[1]);
-        assert_ne!(msgs[1], msgs[2]);
+        assert!(msgs[3].contains("retired block B7"));
+        assert!(msgs[4].contains("retirement accounting skew"));
+        for i in 0..msgs.len() {
+            for j in i + 1..msgs.len() {
+                assert_ne!(msgs[i], msgs[j]);
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Device configuration shared by every engine.
 
-use anykey_flash::{FlashConfig, Ns, MICROSECOND};
+use anykey_flash::{FaultModel, FlashConfig, Ns, MICROSECOND};
 
 use crate::anykey::AnyKeyStore;
 use crate::engine::KvEngine;
@@ -139,6 +139,8 @@ pub struct DeviceConfigBuilder {
     capacity_bytes: u64,
     page_size: u32,
     pages_per_block: u32,
+    bg_residual_ns: Ns,
+    fault: FaultModel,
     dram_bytes: Option<u64>,
     write_buffer_bytes: Option<u64>,
     level_ratio: u64,
@@ -157,6 +159,8 @@ impl Default for DeviceConfigBuilder {
             capacity_bytes: 256 << 20,
             page_size: 8 << 10,
             pages_per_block: 128,
+            bg_residual_ns: 100_000,
+            fault: FaultModel::disabled(),
             dram_bytes: None,
             write_buffer_bytes: None,
             level_ratio: 8,
@@ -187,6 +191,24 @@ impl DeviceConfigBuilder {
     /// Pages per erase block (default 128).
     pub fn pages_per_block(&mut self, pages: u32) -> &mut Self {
         self.pages_per_block = pages;
+        self
+    }
+
+    /// Residual delay cap a foreground read pays when it suspends in-flight
+    /// background work on its chip (default 100 µs). Formerly the hidden
+    /// `ANYKEY_BG_RESIDUAL_NS` environment variable; now explicit so a
+    /// recorded configuration reproduces the run.
+    pub fn bg_residual_ns(&mut self, ns: Ns) -> &mut Self {
+        self.bg_residual_ns = ns;
+        self
+    }
+
+    /// Media fault model (default: disabled, perfect media). A nonzero
+    /// model injects deterministic read retries, program failures, and
+    /// block-retiring erase failures; it also switches the engines' block
+    /// allocators to wear-aware (least-erased-first) allocation.
+    pub fn fault(&mut self, fault: FaultModel) -> &mut Self {
+        self.fault = fault;
         self
     }
 
@@ -260,8 +282,10 @@ impl DeviceConfigBuilder {
     /// Panics if the write buffer does not fit in DRAM, if θ is not in
     /// `(0, 1]`, or if the group does not fit in an erase block.
     pub fn build(&self) -> DeviceConfig {
-        let flash =
+        let mut flash =
             FlashConfig::paper_shape(self.capacity_bytes, self.page_size, self.pages_per_block);
+        flash.bg_residual_ns = self.bg_residual_ns;
+        flash.fault = self.fault;
         let dram_bytes = self.dram_bytes.unwrap_or(self.capacity_bytes / 1024);
         // The buffer gets a floor of 128 KiB so that flush granularity is
         // not distorted at scaled-down capacities (the paper's 64 GB
@@ -342,6 +366,20 @@ mod tests {
     #[should_panic(expected = "group pages")]
     fn misaligned_group_panics() {
         let _ = DeviceConfig::builder().group_pages(48).build();
+    }
+
+    #[test]
+    fn fault_and_residual_knobs_reach_flash_config() {
+        let fault = FaultModel::uniform(9, 10_000);
+        let cfg = DeviceConfig::builder()
+            .bg_residual_ns(55_000)
+            .fault(fault)
+            .build();
+        assert_eq!(cfg.flash.bg_residual_ns, 55_000);
+        assert_eq!(cfg.flash.fault, fault);
+        let default = DeviceConfig::default();
+        assert_eq!(default.flash.bg_residual_ns, 100_000);
+        assert!(!default.flash.fault.is_enabled());
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub struct MetadataStats {
     pub live_unique_bytes: u64,
     /// Bytes of values currently parked in the value log (AnyKey).
     pub value_log_used_bytes: u64,
+    /// Read-retry steps the media needed so far (0 on perfect media).
+    pub retry_reads: u64,
+    /// Page programs that failed and were re-issued elsewhere.
+    pub program_fails: u64,
+    /// Block erases that failed.
+    pub erase_fails: u64,
+    /// Blocks permanently retired as grown bad blocks (all regions).
+    pub retired_blocks: u64,
+    /// Free erase blocks remaining across the engine's regions — the
+    /// headroom the GC triggers watch; shrinks as blocks retire.
+    pub free_blocks: u64,
 }
 
 impl MetadataStats {

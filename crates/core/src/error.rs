@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use anykey_flash::FreeError;
+
 use crate::audit::AuditError;
 
 /// Errors surfaced by the KV engines.
@@ -38,6 +40,9 @@ pub enum KvError {
         /// Which structure was consulted.
         owner: &'static str,
     },
+    /// A block allocator rejected a free or retire request (double free,
+    /// out-of-range block, or an already-retired block).
+    BlockFree(FreeError),
     /// A structural-invariant audit failed (see [`crate::audit`]); raised
     /// at compaction/GC/spill boundaries under the `strict-invariants`
     /// feature.
@@ -57,6 +62,7 @@ impl fmt::Display for KvError {
             KvError::UntrackedBlock { block, owner } => {
                 write!(f, "block B{block} is not tracked by the {owner}")
             }
+            KvError::BlockFree(e) => write!(f, "block allocator misuse: {e}"),
             KvError::Audit(e) => write!(f, "invariant audit failed: {e}"),
         }
     }
@@ -65,6 +71,7 @@ impl fmt::Display for KvError {
 impl Error for KvError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            KvError::BlockFree(e) => Some(e),
             KvError::Audit(e) => Some(e),
             _ => None,
         }
@@ -74,6 +81,12 @@ impl Error for KvError {
 impl From<AuditError> for KvError {
     fn from(e: AuditError) -> Self {
         KvError::Audit(e)
+    }
+}
+
+impl From<FreeError> for KvError {
+    fn from(e: FreeError) -> Self {
+        KvError::BlockFree(e)
     }
 }
 

@@ -229,6 +229,30 @@ impl PinkStore {
         Ok(done)
     }
 
+    /// Programs one freshly allocated meta page in `stream`, re-allocating
+    /// and re-issuing on a program failure (the failed page is released —
+    /// which may erase or retire its block — and a new location is drawn).
+    pub(crate) fn program_meta_page(
+        &mut self,
+        stream: usize,
+        cause: OpCause,
+        at: Ns,
+    ) -> Result<(Ppa, Ns), KvError> {
+        let mut done = at;
+        loop {
+            let ppa = self.meta.alloc_page(&mut self.alloc, stream)?;
+            let r = self.flash.program(ppa, cause, at);
+            done = done.max(r.done);
+            if r.status.is_ok() {
+                return Ok((ppa, done));
+            }
+            done = done.max(
+                self.meta
+                    .free_page(&mut self.alloc, &mut self.flash, ppa, at)?,
+            );
+        }
+    }
+
     /// Recomputes which level lists and meta segments are DRAM-resident
     /// (write buffer first, then level lists in level order, then meta
     /// segments in level order), charging flash traffic for every
@@ -252,7 +276,7 @@ impl PinkStore {
                     // Load into DRAM: read and release the flash copy.
                     let pages = std::mem::take(&mut self.levels[li].list_pages);
                     for ppa in pages {
-                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
+                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at).done);
                         t = t.max(self.meta.free_page(
                             &mut self.alloc,
                             &mut self.flash,
@@ -273,8 +297,8 @@ impl PinkStore {
                     let pages_needed = want.div_ceil(self.page_payload).max(1);
                     let mut pages = Vec::with_capacity(pages_needed as usize);
                     for _ in 0..pages_needed {
-                        let ppa = self.meta.alloc_page(&mut self.alloc, li)?;
-                        t = t.max(self.flash.program(ppa, cause, at));
+                        let (ppa, td) = self.program_meta_page(li, cause, at)?;
+                        t = t.max(td);
                         pages.push(ppa);
                     }
                     self.levels[li].list_pages = pages;
@@ -299,7 +323,7 @@ impl PinkStore {
                             .ok_or(KvError::Internal {
                                 context: "resident load without a flash copy",
                             })?;
-                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at));
+                        t = t.max(self.flash.read(ppa, OpCause::MetaRead, at).done);
                         t = t.max(self.meta.free_page(
                             &mut self.alloc,
                             &mut self.flash,
@@ -313,8 +337,8 @@ impl PinkStore {
                     } else {
                         OpCause::MetaWrite
                     };
-                    let ppa = self.meta.alloc_page(&mut self.alloc, li)?;
-                    t = t.max(self.flash.program(ppa, cause, at));
+                    let (ppa, td) = self.program_meta_page(li, cause, at)?;
+                    t = t.max(td);
                     self.levels[li].segs[si].ppa = Some(ppa);
                 }
                 self.levels[li].segs[si].resident = new_res;

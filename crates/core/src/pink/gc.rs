@@ -94,8 +94,13 @@ impl PinkStore {
                     // A block emptied while it was still a stream's open
                     // block: nothing to relocate, just erase it.
                     self.meta.forget_empty(victim);
-                    t = t.max(self.flash.erase(victim, t));
-                    self.alloc.free(victim);
+                    let r = self.flash.erase(victim, t);
+                    t = t.max(r.done);
+                    if r.status.is_ok() {
+                        self.alloc.free(victim)?;
+                    } else {
+                        self.alloc.retire(victim)?;
+                    }
                 } else {
                     t = self.relocate_meta_block(victim, t)?;
                 }
@@ -149,9 +154,13 @@ impl PinkStore {
             );
         }
         self.data.remove_block(victim);
-        let t = self.flash.erase(victim, t_read);
-        self.alloc.free(victim);
-        Ok(t)
+        let r = self.flash.erase(victim, t_read);
+        if r.status.is_ok() {
+            self.alloc.free(victim)?;
+        } else {
+            self.alloc.retire(victim)?;
+        }
+        Ok(r.done)
     }
 
     /// The data pointer of the newest (shallowest) version of `key`, if
@@ -211,8 +220,8 @@ impl PinkStore {
                 self.meta
                     .free_page(&mut self.alloc, &mut self.flash, old, t_read)?,
             );
-            let new = self.meta.alloc_page(&mut self.alloc, li)?;
-            t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
+            let (new, td) = self.program_meta_page(li, OpCause::GcWrite, t_read)?;
+            t = t.max(td);
             self.levels[li].segs[si].ppa = Some(new);
         }
         for (li, pi) in list_owners {
@@ -221,8 +230,8 @@ impl PinkStore {
                 self.meta
                     .free_page(&mut self.alloc, &mut self.flash, old, t_read)?,
             );
-            let new = self.meta.alloc_page(&mut self.alloc, li)?;
-            t = t.max(self.flash.program(new, OpCause::GcWrite, t_read));
+            let (new, td) = self.program_meta_page(li, OpCause::GcWrite, t_read)?;
+            t = t.max(td);
             self.levels[li].list_pages[pi] = new;
         }
         // `free_page` erased and freed the victim once its last live page

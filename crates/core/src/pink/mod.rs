@@ -126,10 +126,13 @@ impl PinkStore {
         let flash = FlashSim::new(cfg.flash);
         let geometry = cfg.flash.geometry;
         let page_payload = cfg.page_payload() as u64;
+        let mut alloc = BlockAllocator::new(0..geometry.blocks());
+        // Under a fault model wear matters: level P/E cycles across blocks.
+        alloc.set_wear_aware(cfg.flash.fault.is_enabled());
         Self {
             buffer: WriteBuffer::new(cfg.write_buffer_bytes),
             levels: vec![PinkLevel::new(cfg.write_buffer_bytes * cfg.level_ratio)],
-            alloc: BlockAllocator::new(0..geometry.blocks()),
+            alloc,
             meta: MetaArea::new(geometry.pages_per_block),
             data: DataArea::new(geometry.pages_per_block, page_payload),
             dram: DramBudget::new(
@@ -221,7 +224,7 @@ impl PinkStore {
                 let page_idx =
                     (si / per_page).min(self.levels[li].list_pages.len().saturating_sub(1));
                 if let Some(&ppa) = self.levels[li].list_pages.get(page_idx) {
-                    t = self.flash.read(ppa, OpCause::MetaRead, t);
+                    t = self.flash.read(ppa, OpCause::MetaRead, t).done;
                     reads += 1;
                 }
             }
@@ -231,7 +234,7 @@ impl PinkStore {
                 let ppa = self.levels[li].segs[si].ppa.ok_or(KvError::Internal {
                     context: "spilled segment has no flash location",
                 })?;
-                t = self.flash.read(ppa, OpCause::MetaRead, t);
+                t = self.flash.read(ppa, OpCause::MetaRead, t).done;
                 reads += 1;
             }
             if let Some(e) = self.levels[li].segs[si].find(key) {
@@ -490,6 +493,11 @@ impl KvEngine for PinkStore {
             levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
             live_unique_bytes: self.live_bytes,
             value_log_used_bytes: 0,
+            retry_reads: self.flash.counters().total_retry_reads(),
+            program_fails: self.flash.counters().program_fails(),
+            erase_fails: self.flash.counters().erase_fails(),
+            retired_blocks: self.alloc.retired_count() as u64,
+            free_blocks: self.alloc.free_count() as u64,
         }
     }
 

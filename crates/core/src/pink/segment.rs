@@ -169,6 +169,8 @@ impl MetaArea {
     }
 
     /// Releases a meta page; erases and frees the block when it empties.
+    /// An erase failure retires the block from the allocator instead of
+    /// returning it to the free pool.
     ///
     /// # Errors
     ///
@@ -192,9 +194,13 @@ impl MetaArea {
         *live -= 1;
         if *live == 0 && !self.is_open(ppa.block) {
             self.live_pages.remove(&ppa.block);
-            let done = flash.erase(ppa.block, at);
-            alloc.free(ppa.block);
-            return Ok(done);
+            let r = flash.erase(ppa.block, at);
+            if r.status.is_ok() {
+                alloc.free(ppa.block)?;
+            } else {
+                alloc.retire(ppa.block)?;
+            }
+            return Ok(r.done);
         }
         Ok(at)
     }
@@ -263,6 +269,11 @@ impl DataArea {
     /// completion time of any page programs. Pairs may span pages but not
     /// blocks.
     ///
+    /// A page-program failure breaks the pair's contiguity, so the whole
+    /// pair is re-placed starting at the next page (rolling into a fresh
+    /// block when the current one runs out); the failed attempt's pages
+    /// stay dead and the failed program remains visible in the counters.
+    ///
     /// # Errors
     ///
     /// Returns [`KvError::DeviceFull`] when the shared allocator is
@@ -281,56 +292,64 @@ impl DataArea {
             "pair of {bytes} bytes exceeds the erase-block payload"
         );
         let mut done = at;
-        let mut o = match self.open {
-            Some(o) => o,
-            None => self.open_block(alloc)?,
-        };
-        let remaining =
-            (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill;
-        if bytes > remaining {
-            done = done.max(self.seal(flash, at));
-            o = self.open_block(alloc)?;
-        }
-        let start_page = o.next_page;
-        let mut left = bytes;
-        let mut span = 0u8;
-        while left > 0 {
-            let take = left.min(self.page_payload - o.page_fill);
-            o.page_fill += take;
-            left -= take;
-            span += 1;
-            if o.page_fill == self.page_payload {
-                done = done.max(flash.program(
-                    Ppa {
-                        block: o.block,
-                        page: o.next_page,
-                    },
-                    cause,
-                    at,
-                ));
-                o.next_page += 1;
-                o.page_fill = 0;
+        'place: loop {
+            let mut o = match self.open {
+                Some(o) => o,
+                None => self.open_block(alloc)?,
+            };
+            let remaining =
+                (self.pages_per_block - o.next_page) as u64 * self.page_payload - o.page_fill;
+            if bytes > remaining {
+                done = done.max(self.seal(flash, at));
+                o = self.open_block(alloc)?;
             }
+            let start_page = o.next_page;
+            let mut left = bytes;
+            let mut span = 0u8;
+            while left > 0 {
+                let take = left.min(self.page_payload - o.page_fill);
+                o.page_fill += take;
+                left -= take;
+                span += 1;
+                if o.page_fill == self.page_payload {
+                    let r = flash.program(
+                        Ppa {
+                            block: o.block,
+                            page: o.next_page,
+                        },
+                        cause,
+                        at,
+                    );
+                    done = done.max(r.done);
+                    o.next_page += 1;
+                    o.page_fill = 0;
+                    if !r.status.is_ok() {
+                        // Re-issue the pair past the bad page.
+                        self.open = Some(o);
+                        continue 'place;
+                    }
+                }
+            }
+            self.open = Some(o);
+            *self
+                .blocks
+                .get_mut(&o.block)
+                .ok_or(KvError::UntrackedBlock {
+                    block: o.block.0,
+                    owner: "data area",
+                })? += bytes;
+            if o.next_page == self.pages_per_block {
+                done = done.max(self.seal(flash, at));
+            }
+            return Ok((
+                DataPtr {
+                    block: o.block,
+                    page: start_page,
+                    span,
+                },
+                done,
+            ));
         }
-        self.open = Some(o);
-        *self
-            .blocks
-            .get_mut(&o.block)
-            .ok_or(KvError::UntrackedBlock {
-                block: o.block.0,
-                owner: "data area",
-            })? += bytes;
-        if o.next_page == self.pages_per_block {
-            done = done.max(self.seal(flash, at));
-        }
-        Ok((
-            DataPtr {
-                block: o.block,
-                page: start_page,
-                span,
-            },
-            done,
-        ))
     }
 
     fn open_block(&mut self, alloc: &mut BlockAllocator) -> Result<OpenData, KvError> {
@@ -351,22 +370,31 @@ impl DataArea {
     }
 
     /// Programs the partial open page (if any) and closes the open block
-    /// reference so GC may consider it.
+    /// reference so GC may consider it. A program failure re-issues the
+    /// partial page at the next page while the block has room.
     pub fn seal(&mut self, flash: &mut FlashSim, at: Ns) -> Ns {
-        let Some(o) = self.open.take() else {
+        let Some(mut o) = self.open.take() else {
             return at;
         };
+        let mut done = at;
         if o.page_fill > 0 {
-            return flash.program(
-                Ppa {
-                    block: o.block,
-                    page: o.next_page,
-                },
-                OpCause::CompactionWrite,
-                at,
-            );
+            while o.next_page < self.pages_per_block {
+                let r = flash.program(
+                    Ppa {
+                        block: o.block,
+                        page: o.next_page,
+                    },
+                    OpCause::CompactionWrite,
+                    at,
+                );
+                done = done.max(r.done);
+                o.next_page += 1;
+                if r.status.is_ok() {
+                    break;
+                }
+            }
         }
-        at
+        done
     }
 
     /// Marks `bytes` of the pair at `ptr` dead.

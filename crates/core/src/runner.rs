@@ -52,6 +52,12 @@ impl RunReport {
         self.ops as f64 * SECOND as f64 / span as f64
     }
 
+    /// Read-retry steps the media needed during the stage (0 on perfect
+    /// media; nonzero only under fault injection).
+    pub fn media_retries(&self) -> u64 {
+        self.counters.total_retry_reads()
+    }
+
     /// Mean flash reads per GET.
     pub fn mean_reads_per_get(&self) -> f64 {
         let total: u64 = self.reads_per_get.iter().sum();

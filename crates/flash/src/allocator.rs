@@ -1,10 +1,78 @@
-//! Erase-block allocation.
+//! Erase-block allocation, wear tracking, and bad-block retirement.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::ops::Range;
 
 use crate::BlockId;
+
+/// Misuse reported by [`BlockAllocator::free`] and
+/// [`BlockAllocator::retire`]: the block cannot change state as requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeError {
+    /// The block id is outside this allocator's range.
+    OutOfRange {
+        /// The offending global block id.
+        block: u32,
+    },
+    /// The block is not currently allocated (double free / double retire).
+    NotAllocated {
+        /// The offending global block id.
+        block: u32,
+    },
+    /// The block was retired as a bad block and can never re-enter the
+    /// free pool.
+    Retired {
+        /// The offending global block id.
+        block: u32,
+    },
+}
+
+impl fmt::Display for FreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreeError::OutOfRange { block } => {
+                write!(f, "block B{block} is outside the allocator range")
+            }
+            FreeError::NotAllocated { block } => {
+                write!(f, "block B{block} is not allocated (double free)")
+            }
+            FreeError::Retired { block } => {
+                write!(f, "block B{block} is retired and cannot be freed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// Conservation failure reported by [`BlockAllocator::audit`]: the free
+/// heap, allocation flags, and retirement flags no longer partition the
+/// block range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSkew {
+    /// Blocks sitting in the free heap.
+    pub free: usize,
+    /// Blocks with the allocated flag set.
+    pub allocated: usize,
+    /// Blocks counted as retired.
+    pub retired: usize,
+    /// Total blocks in the range.
+    pub total: usize,
+}
+
+impl fmt::Display for AllocSkew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block accounting skew: free {} + allocated {} + retired {} != total {}",
+            self.free, self.allocated, self.retired, self.total
+        )
+    }
+}
+
+impl std::error::Error for AllocSkew {}
 
 /// Allocates erase blocks from a contiguous range of global block ids.
 ///
@@ -13,14 +81,27 @@ use crate::BlockId;
 /// (paper Section 6.9) each tenant's engine gets a disjoint range, so two
 /// engines can share one [`crate::FlashSim`] without stepping on each other.
 ///
-/// Blocks are handed out lowest-id-first; since global block ids are striped
-/// across chips, sequentially allocated blocks land on different chips and a
-/// compaction writing several blocks gets chip parallelism for free.
+/// By default blocks are handed out lowest-id-first; since global block ids
+/// are striped across chips, sequentially allocated blocks land on
+/// different chips and a compaction writing several blocks gets chip
+/// parallelism for free. With [`BlockAllocator::set_wear_aware`] the
+/// allocator instead prefers the least-erased free block (ties broken by
+/// lowest id), levelling P/E wear when the fault model makes wear matter.
+///
+/// The allocator also owns the grown-bad-block list: [`BlockAllocator::retire`]
+/// permanently removes a block from rotation after an erase failure, which
+/// shrinks the free-block headroom the engines' GC triggers watch.
 #[derive(Debug, Clone)]
 pub struct BlockAllocator {
     range: Range<u32>,
-    free: BinaryHeap<Reverse<u32>>,
+    /// Min-heap keyed by `(wear-key, id)`; the wear key is pinned to zero
+    /// unless wear-aware mode is on, reproducing plain lowest-id order.
+    free: BinaryHeap<Reverse<(u32, u32)>>,
     allocated: Vec<bool>,
+    retired: Vec<bool>,
+    wear: Vec<u32>,
+    retired_count: usize,
+    wear_aware: bool,
 }
 
 impl BlockAllocator {
@@ -31,16 +112,28 @@ impl BlockAllocator {
     /// Panics if the range is empty.
     pub fn new(range: Range<u32>) -> Self {
         assert!(!range.is_empty(), "block allocator range must be non-empty");
-        let free = range.clone().map(Reverse).collect();
-        let allocated = vec![false; range.len()];
+        let free = range.clone().map(|id| Reverse((0, id))).collect();
+        let slots = range.len();
         Self {
             range,
             free,
-            allocated,
+            allocated: vec![false; slots],
+            retired: vec![false; slots],
+            wear: vec![0; slots],
+            retired_count: 0,
+            wear_aware: false,
         }
     }
 
-    /// Checked index of an in-range block id into the `allocated` table.
+    /// Switches between lowest-id-first (false, the default) and
+    /// least-erased-first (true) allocation. Engines enable this when the
+    /// fault model is active; the default order is byte-identical to the
+    /// pre-wear-tracking allocator.
+    pub fn set_wear_aware(&mut self, on: bool) {
+        self.wear_aware = on;
+    }
+
+    /// Checked index of an in-range block id into the per-slot tables.
     fn slot_index(&self, id: u32) -> usize {
         debug_assert!(self.range.contains(&id));
         // A u32 offset always fits usize on the simulator's targets; the
@@ -48,32 +141,50 @@ impl BlockAllocator {
         usize::try_from(id - self.range.start).unwrap_or(usize::MAX)
     }
 
-    /// Takes the lowest-id free block, or `None` when the region is
-    /// exhausted.
+    /// Takes the preferred free block (lowest id, or least-erased when
+    /// wear-aware), or `None` when the region is exhausted.
     pub fn alloc(&mut self) -> Option<BlockId> {
-        let Reverse(id) = self.free.pop()?;
+        let Reverse((_, id)) = self.free.pop()?;
         let slot = self.slot_index(id);
         self.allocated[slot] = true;
         Some(BlockId(id))
     }
 
-    /// Returns a block to the free pool.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the block is outside this allocator's range or not
-    /// currently allocated (double free).
-    pub fn free(&mut self, block: BlockId) {
-        assert!(
-            self.range.contains(&block.0),
-            "{block} is outside allocator range {:?}",
-            self.range
-        );
+    /// Returns an erased block to the free pool, recording one P/E cycle
+    /// of wear (the engines always erase a block before freeing it).
+    pub fn free(&mut self, block: BlockId) -> Result<(), FreeError> {
+        let idx = self.checked_slot(block)?;
+        self.allocated[idx] = false;
+        self.wear[idx] = self.wear[idx].saturating_add(1);
+        let key = if self.wear_aware { self.wear[idx] } else { 0 };
+        self.free.push(Reverse((key, block.0)));
+        Ok(())
+    }
+
+    /// Permanently retires an allocated block (grown bad block after an
+    /// erase failure). The block never re-enters the free pool, shrinking
+    /// the region's usable capacity.
+    pub fn retire(&mut self, block: BlockId) -> Result<(), FreeError> {
+        let idx = self.checked_slot(block)?;
+        self.allocated[idx] = false;
+        self.retired[idx] = true;
+        self.retired_count += 1;
+        Ok(())
+    }
+
+    /// Validates that `block` is in range, allocated, and not retired.
+    fn checked_slot(&self, block: BlockId) -> Result<usize, FreeError> {
+        if !self.range.contains(&block.0) {
+            return Err(FreeError::OutOfRange { block: block.0 });
+        }
         let idx = self.slot_index(block.0);
-        let slot = &mut self.allocated[idx];
-        assert!(*slot, "double free of {block}");
-        *slot = false;
-        self.free.push(Reverse(block.0));
+        if self.retired[idx] {
+            return Err(FreeError::Retired { block: block.0 });
+        }
+        if !self.allocated[idx] {
+            return Err(FreeError::NotAllocated { block: block.0 });
+        }
+        Ok(idx)
     }
 
     /// Number of blocks currently free.
@@ -83,7 +194,65 @@ impl BlockAllocator {
 
     /// Number of blocks currently allocated.
     pub fn allocated_count(&self) -> usize {
-        self.len() - self.free_count()
+        self.len() - self.free_count() - self.retired_count
+    }
+
+    /// Number of blocks permanently retired as bad.
+    pub fn retired_count(&self) -> usize {
+        self.retired_count
+    }
+
+    /// Whether `block` has been retired. Blocks outside the range are not
+    /// retired by definition.
+    pub fn is_retired(&self, block: BlockId) -> bool {
+        self.range.contains(&block.0) && self.retired[self.slot_index(block.0)]
+    }
+
+    /// P/E cycles recorded for `block` (0 for blocks outside the range).
+    pub fn wear(&self, block: BlockId) -> u32 {
+        if self.range.contains(&block.0) {
+            self.wear[self.slot_index(block.0)]
+        } else {
+            0
+        }
+    }
+
+    /// Sum of recorded P/E cycles across the region.
+    pub fn total_wear(&self) -> u64 {
+        self.wear.iter().map(|&w| u64::from(w)).sum()
+    }
+
+    /// Verifies block-state conservation: the free heap, allocated flags,
+    /// and retired flags must partition the range, and the retired counter
+    /// must match its flags.
+    pub fn audit(&self) -> Result<(), AllocSkew> {
+        let allocated = self.allocated.iter().filter(|&&a| a).count();
+        let retired = self.retired.iter().filter(|&&r| r).count();
+        let overlap = self
+            .allocated
+            .iter()
+            .zip(self.retired.iter())
+            .any(|(&a, &r)| a && r);
+        if overlap
+            || retired != self.retired_count
+            || self.free.len() + allocated + retired != self.len()
+        {
+            return Err(AllocSkew {
+                free: self.free.len(),
+                allocated,
+                retired: self.retired_count,
+                total: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Test-only corruption hook: bumps the retired counter without
+    /// retiring a block, so [`BlockAllocator::audit`] must fail. Exists for
+    /// the negative-path auditor tests.
+    #[doc(hidden)]
+    pub fn desync_retired_for_test(&mut self) {
+        self.retired_count += 1;
     }
 
     /// Total number of blocks in the region.
@@ -112,7 +281,7 @@ mod tests {
         let mut a = BlockAllocator::new(10..14);
         assert_eq!(a.alloc(), Some(BlockId(10)));
         assert_eq!(a.alloc(), Some(BlockId(11)));
-        a.free(BlockId(10));
+        a.free(BlockId(10)).unwrap();
         assert_eq!(a.alloc(), Some(BlockId(10)));
     }
 
@@ -127,19 +296,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_reported() {
         let mut a = BlockAllocator::new(0..2);
         let b = a.alloc().unwrap();
-        a.free(b);
-        a.free(b);
+        assert_eq!(a.free(b), Ok(()));
+        assert_eq!(a.free(b), Err(FreeError::NotAllocated { block: b.0 }));
     }
 
     #[test]
-    #[should_panic(expected = "outside allocator range")]
-    fn foreign_block_panics() {
+    fn foreign_block_is_reported() {
         let mut a = BlockAllocator::new(0..2);
-        a.free(BlockId(5));
+        assert_eq!(a.free(BlockId(5)), Err(FreeError::OutOfRange { block: 5 }));
+        assert_eq!(
+            a.retire(BlockId(5)),
+            Err(FreeError::OutOfRange { block: 5 })
+        );
     }
 
     #[test]
@@ -149,8 +320,71 @@ mod tests {
         assert_eq!(a.free_count(), 3);
         assert_eq!(a.allocated_count(), 5);
         for b in blocks {
-            a.free(b);
+            a.free(b).unwrap();
         }
         assert_eq!(a.free_count(), 8);
+        assert_eq!(a.audit(), Ok(()));
+    }
+
+    #[test]
+    fn retire_removes_block_from_rotation() {
+        let mut a = BlockAllocator::new(0..3);
+        let b = a.alloc().unwrap();
+        a.retire(b).unwrap();
+        assert_eq!(a.retired_count(), 1);
+        assert!(a.is_retired(b));
+        assert_eq!(a.free(b), Err(FreeError::Retired { block: b.0 }));
+        assert_eq!(a.retire(b), Err(FreeError::Retired { block: b.0 }));
+        let mut seen = Vec::new();
+        while let Some(x) = a.alloc() {
+            seen.push(x);
+        }
+        assert!(!seen.contains(&b), "retired block must never be handed out");
+        assert_eq!(seen.len(), 2);
+        assert_eq!(a.audit(), Ok(()));
+    }
+
+    #[test]
+    fn free_records_wear() {
+        let mut a = BlockAllocator::new(0..2);
+        let b = a.alloc().unwrap();
+        assert_eq!(a.wear(b), 0);
+        a.free(b).unwrap();
+        assert_eq!(a.wear(b), 1);
+        assert_eq!(a.total_wear(), 1);
+    }
+
+    #[test]
+    fn wear_aware_prefers_least_erased() {
+        let mut a = BlockAllocator::new(0..2);
+        a.set_wear_aware(true);
+        let b0 = a.alloc().unwrap();
+        assert_eq!(b0, BlockId(0));
+        a.free(b0).unwrap();
+        // Heap holds block 0 at wear 1 and untouched block 1 at wear 0.
+        assert_eq!(a.alloc(), Some(BlockId(1)), "unworn block beats id order");
+        a.free(BlockId(1)).unwrap();
+        // Both at wear 1: the tie breaks by lowest id.
+        assert_eq!(a.alloc(), Some(BlockId(0)), "wear ties break by id");
+    }
+
+    #[test]
+    fn default_mode_ignores_wear() {
+        let mut a = BlockAllocator::new(0..2);
+        let b0 = a.alloc().unwrap();
+        a.free(b0).unwrap();
+        // Block 0 is more worn than block 1 but still allocates first.
+        assert_eq!(a.wear(BlockId(0)), 1);
+        assert_eq!(a.alloc(), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn audit_catches_retirement_desync() {
+        let mut a = BlockAllocator::new(0..4);
+        assert_eq!(a.audit(), Ok(()));
+        a.desync_retired_for_test();
+        let skew = a.audit().unwrap_err();
+        assert_eq!(skew.total, 4);
+        assert!(skew.to_string().contains("accounting skew"));
     }
 }

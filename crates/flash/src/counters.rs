@@ -107,9 +107,13 @@ impl fmt::Display for OpCause {
 pub struct FlashCounters {
     reads: [u64; 10],
     writes: [u64; 10],
+    retry_reads: [u64; 10],
     reads_total: u64,
     writes_total: u64,
+    retry_reads_total: u64,
     erases: u64,
+    program_fails: u64,
+    erase_fails: u64,
 }
 
 /// Counter-conservation failure reported by [`FlashCounters::audit`]: a
@@ -156,6 +160,19 @@ impl FlashCounters {
         self.erases += 1;
     }
 
+    pub(crate) fn count_retry_reads(&mut self, cause: OpCause, steps: u64) {
+        self.retry_reads[cause.idx()] += steps;
+        self.retry_reads_total += steps;
+    }
+
+    pub(crate) fn count_program_fail(&mut self) {
+        self.program_fails += 1;
+    }
+
+    pub(crate) fn count_erase_fail(&mut self) {
+        self.erase_fails += 1;
+    }
+
     /// Verifies cause-tagged conservation: each per-cause ledger must sum
     /// exactly to its independent grand total.
     pub fn audit(&self) -> Result<(), CounterSkew> {
@@ -173,6 +190,14 @@ impl FlashCounters {
                 ledger: "writes",
                 per_cause_sum: write_sum,
                 total: self.writes_total,
+            });
+        }
+        let retry_sum: u64 = self.retry_reads.iter().sum();
+        if retry_sum != self.retry_reads_total {
+            return Err(CounterSkew {
+                ledger: "retry-reads",
+                per_cause_sum: retry_sum,
+                total: self.retry_reads_total,
             });
         }
         Ok(())
@@ -201,6 +226,28 @@ impl FlashCounters {
         self.erases
     }
 
+    /// Read-retry steps attributed to `cause` (0 unless the fault model is
+    /// enabled). Each step re-paid one page sense on the chip timeline.
+    pub fn retry_reads(&self, cause: OpCause) -> u64 {
+        self.retry_reads[cause.idx()]
+    }
+
+    /// Total read-retry steps across all causes.
+    pub fn total_retry_reads(&self) -> u64 {
+        self.retry_reads_total
+    }
+
+    /// Total page programs that reported a program failure (the page still
+    /// occupied the chip; the FTL re-issued it elsewhere).
+    pub fn program_fails(&self) -> u64 {
+        self.program_fails
+    }
+
+    /// Total block erases that failed, retiring the block.
+    pub fn erase_fails(&self) -> u64 {
+        self.erase_fails
+    }
+
     /// Total page reads across all causes.
     pub fn total_reads(&self) -> u64 {
         self.reads_total
@@ -223,12 +270,17 @@ impl FlashCounters {
         for i in 0..10 {
             debug_assert!(self.reads[i] >= earlier.reads[i]);
             debug_assert!(self.writes[i] >= earlier.writes[i]);
+            debug_assert!(self.retry_reads[i] >= earlier.retry_reads[i]);
             out.reads[i] = self.reads[i] - earlier.reads[i];
             out.writes[i] = self.writes[i] - earlier.writes[i];
+            out.retry_reads[i] = self.retry_reads[i] - earlier.retry_reads[i];
         }
         out.reads_total = self.reads_total - earlier.reads_total;
         out.writes_total = self.writes_total - earlier.writes_total;
+        out.retry_reads_total = self.retry_reads_total - earlier.retry_reads_total;
         out.erases = self.erases - earlier.erases;
+        out.program_fails = self.program_fails - earlier.program_fails;
+        out.erase_fails = self.erase_fails - earlier.erase_fails;
         out
     }
 }
@@ -240,6 +292,13 @@ impl fmt::Display for FlashCounters {
             if r > 0 || w > 0 {
                 writeln!(f, "{cause:>18}: reads {r:>12} writes {w:>12}")?;
             }
+        }
+        if self.retry_reads_total > 0 || self.program_fails > 0 || self.erase_fails > 0 {
+            writeln!(
+                f,
+                "{:>18}: retries {} program-fails {} erase-fails {}",
+                "media faults", self.retry_reads_total, self.program_fails, self.erase_fails
+            )?;
         }
         write!(f, "{:>18}: {}", "erases", self.erases)
     }
@@ -313,6 +372,29 @@ mod tests {
         assert_eq!(err.per_cause_sum, 1);
         assert_eq!(err.total, 2);
         assert!(err.to_string().contains("counter skew"));
+    }
+
+    #[test]
+    fn retry_ledger_is_cause_tagged_and_audited() {
+        let mut c = FlashCounters::new();
+        c.count_retry_reads(OpCause::HostRead, 3);
+        c.count_retry_reads(OpCause::MetaRead, 1);
+        c.count_program_fail();
+        c.count_erase_fail();
+        assert_eq!(c.retry_reads(OpCause::HostRead), 3);
+        assert_eq!(c.retry_reads(OpCause::MetaRead), 1);
+        assert_eq!(c.total_retry_reads(), 4);
+        assert_eq!(c.program_fails(), 1);
+        assert_eq!(c.erase_fails(), 1);
+        assert_eq!(c.audit(), Ok(()));
+        let snap = c.clone();
+        c.count_retry_reads(OpCause::HostRead, 2);
+        c.count_program_fail();
+        let d = c.since(&snap);
+        assert_eq!(d.total_retry_reads(), 2);
+        assert_eq!(d.program_fails(), 1);
+        assert_eq!(d.erase_fails(), 0);
+        assert_eq!(d.audit(), Ok(()));
     }
 
     #[test]

@@ -81,6 +81,14 @@ impl LatencyModel {
         self.read_ns[kind.idx()] + self.transfer_ns
     }
 
+    /// Cost of one stepped read-retry sense of a page of the given kind:
+    /// the array is re-sensed at a shifted reference voltage but the data
+    /// crosses the channel only once, so a retry re-pays the cell read
+    /// without the transfer.
+    pub fn read_sense(&self, kind: PageKind) -> Ns {
+        self.read_ns[kind.idx()]
+    }
+
     /// Program latency of a page of the given kind.
     pub fn program(&self, kind: PageKind) -> Ns {
         self.program_ns[kind.idx()] + self.transfer_ns

@@ -28,17 +28,24 @@
 //!
 //! let sim_cfg = FlashConfig::small_test();
 //! let mut sim = FlashSim::new(sim_cfg);
-//! let done = sim.read(Ppa::new(0, 0), OpCause::HostRead, 0);
-//! assert!(done > 0);
+//! let r = sim.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+//! assert!(r.status.is_ok() && r.done > 0);
 //! assert_eq!(sim.counters().reads(OpCause::HostRead), 1);
 //! ```
+//!
+//! A deterministic, seed-driven **fault model** ([`FaultModel`], default
+//! off) can additionally inject transient read errors (resolved by stepped
+//! read-retry on the chip timeline), program failures, and erase failures
+//! that retire blocks — see the [`fault`] module.
 
 /// Physical page addresses and block identifiers.
 pub mod address;
-/// Free-block bookkeeping shared by the FTL areas.
+/// Free-block bookkeeping, wear tracking, and bad-block retirement.
 pub mod allocator;
 /// Cause-tagged page/erase counters (the paper's Table 3 accounting).
 pub mod counters;
+/// Seed-driven NAND fault injection (read-retry, program/erase failures).
+pub mod fault;
 /// Device shape: channels, chips, blocks, pages.
 pub mod geometry;
 /// TLC latency model for reads, programs, and erases.
@@ -48,16 +55,18 @@ pub mod sim;
 
 /// Flash addressing primitives.
 pub use address::{BlockId, Ppa};
-/// Allocator over a contiguous erase-block range.
-pub use allocator::BlockAllocator;
+/// Allocator over a contiguous erase-block range, with retirement errors.
+pub use allocator::{AllocSkew, BlockAllocator, FreeError};
 /// Operation accounting: per-cause counters and their audit error.
 pub use counters::{CounterSkew, FlashCounters, OpCause};
+/// Deterministic media error model.
+pub use fault::FaultModel;
 /// Physical device geometry.
 pub use geometry::FlashGeometry;
 /// Page-type-aware latency tables.
 pub use latency::{LatencyModel, PageKind};
-/// Simulator configuration and the simulator itself.
-pub use sim::{FlashConfig, FlashSim};
+/// Simulator configuration, operation outcomes, and the simulator itself.
+pub use sim::{FlashConfig, FlashOpResult, FlashOpStatus, FlashSim};
 
 /// Simulated time in nanoseconds since the start of the run.
 pub type Ns = u64;

@@ -1,8 +1,11 @@
 //! The virtual-time flash scheduler.
 
-use crate::{BlockId, FlashCounters, FlashGeometry, LatencyModel, Ns, OpCause, PageKind, Ppa};
+use crate::{
+    BlockId, FaultModel, FlashCounters, FlashGeometry, LatencyModel, Ns, OpCause, PageKind, Ppa,
+};
 
-/// Configuration of a simulated flash device: geometry plus latency model.
+/// Configuration of a simulated flash device: geometry, latency model, and
+/// fault model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashConfig {
     /// Physical layout.
@@ -12,20 +15,24 @@ pub struct FlashConfig {
     /// Residual delay cap a foreground operation pays when it preempts
     /// in-flight background work on its chip — the NAND program/erase
     /// suspend latency (~100 µs on modern TLC).
+    ///
+    /// Always set explicitly (the builder/bench CLI plumb it through); no
+    /// environment variable is consulted, so a recorded config reproduces
+    /// the run exactly.
     pub bg_residual_ns: Ns,
+    /// Seed-driven media error model; [`FaultModel::disabled`] (the
+    /// default) reproduces the paper's perfect-media FEMU behaviour.
+    pub fault: FaultModel,
 }
 
 impl FlashConfig {
     /// The paper's device shape at a given raw capacity.
     pub fn paper_shape(raw_bytes: u64, page_size: u32, pages_per_block: u32) -> Self {
-        let bg_residual_ns = std::env::var("ANYKEY_BG_RESIDUAL_NS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(100_000);
         Self {
             geometry: FlashGeometry::paper_shape(raw_bytes, page_size, pages_per_block),
             latency: LatencyModel::paper_tlc(),
-            bg_residual_ns,
+            bg_residual_ns: 100_000,
+            fault: FaultModel::disabled(),
         }
     }
 
@@ -41,8 +48,42 @@ impl Default for FlashConfig {
             geometry: FlashGeometry::default(),
             latency: LatencyModel::default(),
             bg_residual_ns: 100_000,
+            fault: FaultModel::disabled(),
         }
     }
+}
+
+/// Media status of a completed flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashOpStatus {
+    /// The operation succeeded. Reads always land here: transient read
+    /// errors are resolved inside the simulator by stepped read-retry,
+    /// which lengthens the completion time instead.
+    Ok,
+    /// The page program failed; the caller must re-issue the page at a
+    /// fresh physical location. The failed attempt still occupied the chip.
+    ProgramFail,
+    /// The block erase failed; the caller must retire the block via
+    /// [`crate::BlockAllocator::retire`] instead of freeing it.
+    EraseFail,
+}
+
+impl FlashOpStatus {
+    /// Whether the media reported success.
+    pub fn is_ok(self) -> bool {
+        matches!(self, FlashOpStatus::Ok)
+    }
+}
+
+/// Outcome of a flash operation: when it completed on the chip timeline and
+/// whether the media reported success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a flash operation may have failed; check the status"]
+pub struct FlashOpResult {
+    /// Completion time, including any read-retry steps.
+    pub done: Ns,
+    /// Media status; failed operations still consumed chip time.
+    pub status: FlashOpStatus,
 }
 
 /// Scheduling class of an operation.
@@ -86,16 +127,27 @@ pub struct FlashSim {
     cfg: FlashConfig,
     chips: Vec<Chip>,
     counters: FlashCounters,
+    /// Completed P/E cycles per global block, driving the wear-dependent
+    /// fault probabilities. Tracked by the device (it sees every erase),
+    /// independently of the engines' allocators.
+    wear: Vec<u32>,
+    /// Monotone operation sequence number mixed into fault draws so two
+    /// ops on the same page at different points of the run draw
+    /// independently.
+    op_seq: u64,
 }
 
 impl FlashSim {
     /// Creates an idle device.
     pub fn new(cfg: FlashConfig) -> Self {
         let chips = cfg.geometry.chips() as usize;
+        let blocks = cfg.geometry.blocks() as usize;
         Self {
             cfg,
             chips: vec![Chip::default(); chips],
             counters: FlashCounters::new(),
+            wear: vec![0; blocks],
+            op_seq: 0,
         }
     }
 
@@ -155,34 +207,103 @@ impl FlashSim {
         }
     }
 
-    /// Reads one page; returns its completion time.
-    pub fn read(&mut self, ppa: Ppa, cause: OpCause, at: Ns) -> Ns {
-        debug_assert!(cause.is_read(), "read issued with write cause {cause}");
-        let chip = self.cfg.geometry.chip_of_block(ppa.block.0);
-        let lat = self.cfg.latency.read(PageKind::of_page(ppa.page));
-        self.counters.count_read(cause);
-        self.schedule(chip, cause.lane(), lat, at)
+    /// Takes the next fault-draw sequence number.
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        seq
     }
 
-    /// Programs one page; returns its completion time.
-    pub fn program(&mut self, ppa: Ppa, cause: OpCause, at: Ns) -> Ns {
+    /// Reads one page; returns its completion time and status.
+    ///
+    /// Reads always succeed: when the fault model injects a transient read
+    /// error, the simulator resolves it internally with stepped read-retry
+    /// — each step re-pays one page sense on the chip timeline and
+    /// increments the cause-tagged `retry_reads` counter — so the caller
+    /// only sees a longer completion time.
+    pub fn read(&mut self, ppa: Ppa, cause: OpCause, at: Ns) -> FlashOpResult {
+        debug_assert!(cause.is_read(), "read issued with write cause {cause}");
+        let chip = self.cfg.geometry.chip_of_block(ppa.block.0);
+        let kind = PageKind::of_page(ppa.page);
+        let mut lat = self.cfg.latency.read(kind);
+        self.counters.count_read(cause);
+        let seq = self.next_seq();
+        if self.cfg.fault.is_enabled() {
+            let wear = self.block_wear(ppa.block);
+            let retries = self
+                .cfg
+                .fault
+                .read_retries(wear, ppa.block.0, ppa.page, seq);
+            if retries > 0 {
+                self.counters.count_retry_reads(cause, u64::from(retries));
+                lat += u64::from(retries) * self.cfg.latency.read_sense(kind);
+            }
+        }
+        let done = self.schedule(chip, cause.lane(), lat, at);
+        FlashOpResult {
+            done,
+            status: FlashOpStatus::Ok,
+        }
+    }
+
+    /// Programs one page; returns its completion time and status.
+    ///
+    /// A [`FlashOpStatus::ProgramFail`] still occupies the chip for the
+    /// full program latency and is counted as a write; the caller must
+    /// re-issue the page at a fresh physical location.
+    pub fn program(&mut self, ppa: Ppa, cause: OpCause, at: Ns) -> FlashOpResult {
         debug_assert!(!cause.is_read(), "program issued with read cause {cause}");
         let chip = self.cfg.geometry.chip_of_block(ppa.block.0);
         let lat = self.cfg.latency.program(PageKind::of_page(ppa.page));
         self.counters.count_write(cause);
-        self.schedule(chip, cause.lane(), lat, at)
+        let seq = self.next_seq();
+        let mut status = FlashOpStatus::Ok;
+        if self.cfg.fault.is_enabled() {
+            let wear = self.block_wear(ppa.block);
+            if self
+                .cfg
+                .fault
+                .program_fails(wear, ppa.block.0, ppa.page, seq)
+            {
+                self.counters.count_program_fail();
+                status = FlashOpStatus::ProgramFail;
+            }
+        }
+        let done = self.schedule(chip, cause.lane(), lat, at);
+        FlashOpResult { done, status }
     }
 
-    /// Erases a block; returns its completion time.
-    pub fn erase(&mut self, block: BlockId, at: Ns) -> Ns {
+    /// Erases a block; returns its completion time and status.
+    ///
+    /// A successful erase completes one P/E cycle of block wear. A
+    /// [`FlashOpStatus::EraseFail`] means the block has grown bad; the
+    /// caller must retire it from its allocator instead of freeing it.
+    pub fn erase(&mut self, block: BlockId, at: Ns) -> FlashOpResult {
         let chip = self.cfg.geometry.chip_of_block(block.0);
         let lat = self.cfg.latency.erase();
         self.counters.count_erase();
-        self.schedule(chip, Lane::Bg, lat, at)
+        let seq = self.next_seq();
+        let mut status = FlashOpStatus::Ok;
+        if self.cfg.fault.is_enabled()
+            && self
+                .cfg
+                .fault
+                .erase_fails(self.block_wear(block), block.0, seq)
+        {
+            self.counters.count_erase_fail();
+            status = FlashOpStatus::EraseFail;
+        }
+        if status.is_ok() {
+            if let Some(w) = self.wear.get_mut(block.0 as usize) {
+                *w = w.saturating_add(1);
+            }
+        }
+        let done = self.schedule(chip, Lane::Bg, lat, at);
+        FlashOpResult { done, status }
     }
 
     /// Reads a set of independent pages in parallel; returns the time the
-    /// last one completes.
+    /// last one completes (reads always succeed, see [`FlashSim::read`]).
     ///
     /// Pages on different chips overlap fully; pages on the same chip
     /// serialize on that chip's timeline.
@@ -192,22 +313,39 @@ impl FlashSim {
     {
         let mut done = at;
         for ppa in ppas {
-            done = done.max(self.read(ppa, cause, at));
+            done = done.max(self.read(ppa, cause, at).done);
         }
         done
     }
 
     /// Programs a set of independent pages in parallel; returns the time
-    /// the last one completes.
-    pub fn program_many<I>(&mut self, ppas: I, cause: OpCause, at: Ns) -> Ns
+    /// the last one completes and `Ok` only if every page programmed
+    /// cleanly.
+    ///
+    /// Callers that need to know *which* page failed (to re-place it)
+    /// should issue per-page [`FlashSim::program`] calls with a shared
+    /// issue time instead — the chip-timeline outcome is identical.
+    pub fn program_many<I>(&mut self, ppas: I, cause: OpCause, at: Ns) -> FlashOpResult
     where
         I: IntoIterator<Item = Ppa>,
     {
-        let mut done = at;
+        let mut out = FlashOpResult {
+            done: at,
+            status: FlashOpStatus::Ok,
+        };
         for ppa in ppas {
-            done = done.max(self.program(ppa, cause, at));
+            let r = self.program(ppa, cause, at);
+            out.done = out.done.max(r.done);
+            if !r.status.is_ok() {
+                out.status = r.status;
+            }
         }
-        done
+        out
+    }
+
+    /// Completed P/E cycles of a block, as seen by the device.
+    pub fn block_wear(&self, block: BlockId) -> u32 {
+        self.wear.get(block.0 as usize).copied().unwrap_or(0)
     }
 
     /// Resets the counters (e.g. at the end of warm-up) without touching
@@ -237,8 +375,8 @@ mod tests {
     fn same_chip_fg_ops_serialize() {
         let mut s = sim();
         let p = Ppa::new(0, 0);
-        let d1 = s.read(p, OpCause::HostRead, 0);
-        let d2 = s.read(p, OpCause::HostRead, 0);
+        let d1 = s.read(p, OpCause::HostRead, 0).done;
+        let d2 = s.read(p, OpCause::HostRead, 0).done;
         assert!(d2 >= 2 * d1 - 1, "second op must queue behind the first");
     }
 
@@ -246,8 +384,8 @@ mod tests {
     fn different_chips_overlap() {
         let mut s = sim();
         // Block 0 and block 1 live on different chips (striping).
-        let d1 = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
-        let d2 = s.read(Ppa::new(1, 0), OpCause::HostRead, 0);
+        let d1 = s.read(Ppa::new(0, 0), OpCause::HostRead, 0).done;
+        let d2 = s.read(Ppa::new(1, 0), OpCause::HostRead, 0).done;
         assert_eq!(d1, d2, "independent chips should not queue");
     }
 
@@ -256,8 +394,8 @@ mod tests {
         let mut a = sim();
         let mut b = sim();
         let p = Ppa::new(3, 4);
-        let early = a.read(p, OpCause::HostRead, 100);
-        let late = b.read(p, OpCause::HostRead, 5_000_000);
+        let early = a.read(p, OpCause::HostRead, 100).done;
+        let late = b.read(p, OpCause::HostRead, 5_000_000).done;
         assert!(late > early);
     }
 
@@ -266,9 +404,9 @@ mod tests {
         let mut s = sim();
         // Pile a huge compaction burst on chip 0.
         for page in 0..64 {
-            s.program(Ppa::new(0, page), OpCause::CompactionWrite, 0);
+            let _ = s.program(Ppa::new(0, page), OpCause::CompactionWrite, 0);
         }
-        let read_done = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        let read_done = s.read(Ppa::new(0, 0), OpCause::HostRead, 0).done;
         let plain = LatencyModel::paper_tlc().read(PageKind::Lsb);
         let cap = FlashConfig::small_test().bg_residual_ns;
         assert!(
@@ -281,9 +419,11 @@ mod tests {
     #[test]
     fn background_backlog_drains_in_idle_gaps() {
         let mut s = sim();
-        let est = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0);
+        let est = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0).done;
         // A read issued long after the backlog finished pays nothing.
-        let read_done = s.read(Ppa::new(0, 0), OpCause::HostRead, est + 10_000_000);
+        let read_done = s
+            .read(Ppa::new(0, 0), OpCause::HostRead, est + 10_000_000)
+            .done;
         let plain = LatencyModel::paper_tlc().read(PageKind::Lsb);
         assert_eq!(read_done, est + 10_000_000 + plain);
     }
@@ -291,17 +431,19 @@ mod tests {
     #[test]
     fn background_completion_reflects_backlog() {
         let mut s = sim();
-        let d1 = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0);
-        let d2 = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0);
+        let d1 = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0).done;
+        let d2 = s.program(Ppa::new(0, 0), OpCause::CompactionWrite, 0).done;
         assert!(d2 > d1, "backlog accumulates");
     }
 
     #[test]
     fn erase_counts_and_advances_time() {
         let mut s = sim();
-        let done = s.erase(BlockId(0), 0);
-        assert_eq!(done, LatencyModel::paper_tlc().erase());
+        let r = s.erase(BlockId(0), 0);
+        assert_eq!(r.done, LatencyModel::paper_tlc().erase());
+        assert!(r.status.is_ok());
         assert_eq!(s.counters().erases(), 1);
+        assert_eq!(s.block_wear(BlockId(0)), 1, "clean erase completes a P/E");
     }
 
     #[test]
@@ -318,18 +460,127 @@ mod tests {
     fn horizon_tracks_total_outstanding_work() {
         let mut s = sim();
         assert_eq!(s.horizon(), 0);
-        let done = s.program(Ppa::new(0, 0), OpCause::LogWrite, 0);
+        let done = s.program(Ppa::new(0, 0), OpCause::LogWrite, 0).done;
         assert_eq!(s.horizon(), done);
-        let read_done = s.read(Ppa::new(1, 0), OpCause::HostRead, 0);
+        let read_done = s.read(Ppa::new(1, 0), OpCause::HostRead, 0).done;
         assert!(s.horizon() >= read_done.min(done));
     }
 
     #[test]
     fn reset_counters_keeps_timelines() {
         let mut s = sim();
-        s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        let _ = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
         s.reset_counters();
         assert_eq!(s.counters().total_reads(), 0);
         assert!(s.horizon() > 0);
+    }
+
+    fn faulty_sim(read_ppm: u32) -> FlashSim {
+        let mut cfg = FlashConfig::small_test();
+        cfg.fault = FaultModel::uniform(0xF00D, read_ppm);
+        FlashSim::new(cfg)
+    }
+
+    #[test]
+    fn read_retries_lengthen_reads_and_are_counted() {
+        let mut s = faulty_sim(500_000);
+        let plain = LatencyModel::paper_tlc().read(PageKind::Lsb);
+        let mut slowed = 0;
+        for block in 0..64 {
+            let r = s.read(
+                Ppa::new(block % 8, 0),
+                OpCause::HostRead,
+                1_000_000_000 * u64::from(block),
+            );
+            assert!(r.status.is_ok(), "reads always resolve");
+            if r.done > 1_000_000_000 * u64::from(block) + plain {
+                slowed += 1;
+            }
+        }
+        assert!(slowed > 0, "a 50% error rate must slow some reads");
+        assert!(s.counters().total_retry_reads() > 0);
+        assert_eq!(
+            s.counters().retry_reads(OpCause::HostRead),
+            s.counters().total_retry_reads()
+        );
+        assert_eq!(s.counters().audit(), Ok(()));
+    }
+
+    #[test]
+    fn program_failures_are_reported_and_counted() {
+        let mut s = faulty_sim(1_000_000);
+        let mut failed = 0;
+        for page in 0..64 {
+            let r = s.program(Ppa::new(0, page), OpCause::LogWrite, 0);
+            if !r.status.is_ok() {
+                assert_eq!(r.status, FlashOpStatus::ProgramFail);
+                failed += 1;
+            }
+        }
+        assert!(
+            failed > 0,
+            "a 12.5% program-fail rate must fire in 64 tries"
+        );
+        assert_eq!(s.counters().program_fails(), failed);
+        // Failed programs still count as writes (they occupied the chip).
+        assert_eq!(s.counters().total_writes(), 64);
+    }
+
+    #[test]
+    fn erase_failures_are_reported_and_skip_wear() {
+        let mut s = faulty_sim(1_000_000);
+        let mut failed = 0;
+        let mut completed = 0;
+        for block in 0..64 {
+            let r = s.erase(BlockId(block % 8), 0);
+            if r.status.is_ok() {
+                completed += 1;
+            } else {
+                assert_eq!(r.status, FlashOpStatus::EraseFail);
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "a 6.25% erase-fail rate must fire in 64 tries");
+        assert_eq!(s.counters().erase_fails(), failed);
+        assert_eq!(s.counters().erases(), 64);
+        let total_wear: u64 = (0..8).map(|b| u64::from(s.block_wear(BlockId(b)))).sum();
+        assert_eq!(total_wear, completed, "only clean erases complete a P/E");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_runs() {
+        let run = || {
+            let mut s = faulty_sim(200_000);
+            for i in 0..256u32 {
+                let ppa = Ppa::new(i % 64, i % 128);
+                let _ = s.program(ppa, OpCause::CompactionWrite, u64::from(i));
+                let _ = s.read(ppa, OpCause::HostRead, u64::from(i) * 2);
+                if i % 16 == 0 {
+                    let _ = s.erase(BlockId(i % 64), u64::from(i));
+                }
+            }
+            (s.counters().clone(), s.horizon())
+        };
+        let (c1, h1) = run();
+        let (c2, h2) = run();
+        assert_eq!(c1, c2, "same seed + same op sequence => same counters");
+        assert_eq!(h1, h2, "same seed + same op sequence => same horizon");
+    }
+
+    #[test]
+    fn disabled_fault_model_is_zero_cost() {
+        let mut plain = sim();
+        let mut explicit = FlashSim::new(FlashConfig {
+            fault: FaultModel::disabled(),
+            ..FlashConfig::small_test()
+        });
+        for i in 0..128u32 {
+            let ppa = Ppa::new(i % 64, i % 128);
+            let a = plain.read(ppa, OpCause::HostRead, u64::from(i));
+            let b = explicit.read(ppa, OpCause::HostRead, u64::from(i));
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.counters(), explicit.counters());
+        assert_eq!(plain.counters().total_retry_reads(), 0);
     }
 }

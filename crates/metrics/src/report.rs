@@ -187,6 +187,16 @@ pub fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Formats a parts-per-million rate for table cells (`0` stays `"0"`, so
+/// the fault-free baseline row reads cleanly).
+pub fn fmt_ppm(ppm: u32) -> String {
+    if ppm == 0 {
+        "0".to_string()
+    } else {
+        format!("{}ppm", fmt_count(ppm as u64))
+    }
+}
+
 /// Formats a count with thousands separators.
 pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
@@ -248,6 +258,8 @@ mod tests {
         assert_eq!(fmt_ns(25_000_000), "25.00ms");
         assert_eq!(fmt_count(1234567), "1,234,567");
         assert_eq!(fmt_count(42), "42");
+        assert_eq!(fmt_ppm(0), "0");
+        assert_eq!(fmt_ppm(2500), "2,500ppm");
     }
 
     #[test]

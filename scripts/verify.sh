@@ -14,6 +14,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fault-injection determinism suite"
+cargo test -q --test fault_determinism
+
+echo "==> fault bench smoke (tiny device)"
+cargo run -q --release -p anykey-bench -- fault --quick --out target/verify-results
+
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint
 

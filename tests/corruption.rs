@@ -98,8 +98,74 @@ fn desynced_flash_counter_is_detected() {
     );
 }
 
-/// The three injected faults must be tellable apart from the diagnostic
-/// text alone — an operator reading a log must know *which* structure is
+#[test]
+fn retired_block_with_live_data_is_detected_anykey() {
+    let mut s = filled_anykey();
+    assert_eq!(
+        s.check_invariants(),
+        Ok(()),
+        "healthy store must audit clean"
+    );
+    assert!(
+        s.retire_live_block_for_test(),
+        "fill must produce at least one live group"
+    );
+    let err = s.check_invariants().expect_err("corruption must be caught");
+    assert!(
+        matches!(err, AuditError::RetiredBlockLive { .. }),
+        "got {err}"
+    );
+    assert!(
+        err.to_string().contains("retired block"),
+        "diagnostic must name the retirement fault: {err}"
+    );
+}
+
+#[test]
+fn retired_block_with_live_data_is_detected_pink() {
+    let mut s = filled_pink();
+    assert_eq!(
+        s.check_invariants(),
+        Ok(()),
+        "healthy store must audit clean"
+    );
+    assert!(
+        s.retire_live_block_for_test(),
+        "fill must produce at least one live entry"
+    );
+    let err = s.check_invariants().expect_err("corruption must be caught");
+    assert!(
+        matches!(err, AuditError::RetiredBlockLive { .. }),
+        "got {err}"
+    );
+    assert!(
+        err.to_string().contains("retired block"),
+        "diagnostic must name the retirement fault: {err}"
+    );
+}
+
+#[test]
+fn desynced_retirement_accounting_is_detected() {
+    let mut s = filled_anykey();
+    assert_eq!(
+        s.check_invariants(),
+        Ok(()),
+        "healthy store must audit clean"
+    );
+    s.desync_retirement_for_test();
+    let err = s.check_invariants().expect_err("corruption must be caught");
+    assert!(
+        matches!(err, AuditError::RetirementSkew { .. }),
+        "got {err}"
+    );
+    assert!(
+        err.to_string().contains("retirement accounting skew"),
+        "diagnostic must name the accounting fault: {err}"
+    );
+}
+
+/// The injected faults must be tellable apart from the diagnostic text
+/// alone — an operator reading a log must know *which* structure is
 /// damaged.
 #[test]
 fn injected_faults_have_pairwise_distinct_diagnostics() {
@@ -115,7 +181,18 @@ fn injected_faults_have_pairwise_distinct_diagnostics() {
     skew.desync_counters_for_test();
     let skew_msg = skew.check_invariants().expect_err("seeded").to_string();
 
-    assert_ne!(order_msg, dram_msg);
-    assert_ne!(order_msg, skew_msg);
-    assert_ne!(dram_msg, skew_msg);
+    let mut retired = filled_anykey();
+    assert!(retired.retire_live_block_for_test());
+    let retired_msg = retired.check_invariants().expect_err("seeded").to_string();
+
+    let mut rskew = filled_anykey();
+    rskew.desync_retirement_for_test();
+    let rskew_msg = rskew.check_invariants().expect_err("seeded").to_string();
+
+    let msgs = [order_msg, dram_msg, skew_msg, retired_msg, rskew_msg];
+    for i in 0..msgs.len() {
+        for j in (i + 1)..msgs.len() {
+            assert_ne!(msgs[i], msgs[j], "faults {i} and {j} look alike");
+        }
+    }
 }
