@@ -3,11 +3,10 @@
 
 use std::path::{Path, PathBuf};
 
-use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
-use anykey_core::{run, warm_up, DeviceConfig, EngineKind, MetadataStats, RunReport};
+use anykey_core::{DeviceConfig, EngineKind, MetadataStats, RunReport};
 use anykey_metrics::report::fmt_ns;
 use anykey_metrics::{Csv, Table};
-use anykey_workload::{KeyDist, OpStreamBuilder, WorkloadSpec};
+use anykey_workload::{KeyDist, WorkloadSpec};
 
 /// Experiment scale knobs. Defaults reproduce the paper's ratios on a
 /// 128 MiB device (the paper's 64 GB scaled down, DRAM at the same 0.1% ratio).
@@ -141,6 +140,10 @@ impl ExpCtx {
     /// Builds a device, warms it up with the workload's keyspace, runs the
     /// measured phase with the paper's default mix (Zipfian 0.99, 20 %
     /// writes), and returns the summary.
+    ///
+    /// Serial convenience over [`crate::scheduler::execute_point`] — the
+    /// experiment modules declare [`crate::scheduler::Point`]s instead and
+    /// let the scheduler run them; this remains for diagnostics (`probe`).
     pub fn run_standard(&self, kind: EngineKind, spec: WorkloadSpec) -> Summary {
         self.run_with(kind, spec, KeyDist::default(), 0.2, None)
     }
@@ -155,76 +158,51 @@ impl ExpCtx {
         write_ratio: f64,
         cfg_override: Option<DeviceConfig>,
     ) -> Summary {
-        let cfg = cfg_override.unwrap_or_else(|| self.scale.device(kind, spec));
-        // A configuration can sit so close to a system's capacity limit
-        // that updates during the measured phase fill the device (that
-        // limit is itself a result — Figure 14); rather than abort the
-        // whole suite, retry with a slightly smaller keyspace.
-        for shrink in [1.0, 0.85, 0.7, 0.5] {
-            let mut dev = cfg.build_engine();
-            let keyspace = ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
-            if warm_up(dev.as_mut(), spec, keyspace, self.scale.seed).is_err() {
-                continue;
-            }
-            let ops = OpStreamBuilder::new(spec, keyspace)
-                .write_ratio(write_ratio)
-                .dist(dist.clone())
-                .seed(self.scale.seed ^ 0xBEEF)
-                .build();
-            let n = self.scale.measured_ops(spec);
-            match run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH) {
-                Ok(report) => {
-                    if shrink < 1.0 {
-                        eprintln!(
-                            "note: {} on {} ran at {:.0}% keyspace (device-full at target fill)",
-                            kind,
-                            spec.name,
-                            shrink * 100.0
-                        );
-                    }
-                    return Summary {
-                        workload: spec.name,
-                        system: kind,
-                        report,
-                        meta: dev.metadata(),
-                    };
-                }
-                Err(_) => continue,
-            }
-        }
-        panic!(
-            "{} could not complete {} even at half keyspace",
-            kind, spec.name
+        let point = crate::scheduler::Point::with_key(
+            String::new(),
+            "adhoc",
+            kind,
+            spec,
+            crate::scheduler::RunKind::Measure(crate::scheduler::MeasureSpec {
+                dist,
+                write_ratio,
+                cfg: cfg_override,
+                ..Default::default()
+            }),
         );
+        let r = crate::scheduler::execute_point(self, &point);
+        if let Some(note) = r.note {
+            eprintln!("{note}");
+        }
+        r.summary
     }
 
-    /// Runs a scan-centric variant (Figure 18): `scan_ratio` of requests
-    /// are scans of `scan_len` keys.
+    /// Runs a scan-centric variant (Figure 18): half the requests are
+    /// scans of `scan_len` keys, at a reduced op count (scans are heavy).
     pub fn run_scans(&self, kind: EngineKind, spec: WorkloadSpec, scan_len: u32) -> Summary {
-        let cfg = self.scale.device(kind, spec);
-        for shrink in [1.0, 0.85, 0.7, 0.5] {
-            let mut dev = cfg.build_engine();
-            let keyspace = ((self.scale.keyspace(spec) as f64 * shrink) as u64).max(1_000);
-            if warm_up(dev.as_mut(), spec, keyspace, self.scale.seed).is_err() {
-                continue;
-            }
-            let ops = OpStreamBuilder::new(spec, keyspace)
-                .write_ratio(0.2)
-                .scans(0.5, scan_len)
-                .seed(self.scale.seed ^ 0x5CA7)
-                .build();
-            // Scans are heavy; issue fewer requests.
-            let n = (self.scale.measured_ops(spec) / 20).max(2_000);
-            if let Ok(report) = run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH) {
-                return Summary {
-                    workload: spec.name,
-                    system: kind,
-                    report,
-                    meta: dev.metadata(),
-                };
-            }
+        let point = crate::scheduler::Point::with_key(
+            String::new(),
+            "adhoc",
+            kind,
+            spec,
+            crate::scheduler::RunKind::Measure(self.scan_recipe(spec, scan_len)),
+        );
+        let r = crate::scheduler::execute_point(self, &point);
+        if let Some(note) = r.note {
+            eprintln!("{note}");
         }
-        panic!("{} could not complete scans on {}", kind, spec.name);
+        r.summary
+    }
+
+    /// The Figure 18 scan recipe: 50 % scans of `scan_len` keys, measured
+    /// ops reduced 20× (floor 2 000) because scans are heavy.
+    pub fn scan_recipe(&self, spec: WorkloadSpec, scan_len: u32) -> crate::scheduler::MeasureSpec {
+        crate::scheduler::MeasureSpec {
+            scans: Some((0.5, scan_len)),
+            ops: Some((self.scale.measured_ops(spec) / 20).max(2_000)),
+            seed_salt: 0x5CA7,
+            ..Default::default()
+        }
     }
 
     /// Writes one latency CDF as a long-form CSV

@@ -15,16 +15,41 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, kiops, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 /// Read-error rates swept, in errors per million page reads.
 const RATES_PPM: [u32; 5] = [0, 100, 500, 2_000, 10_000];
+const SYSTEMS: [EngineKind; 2] = [EngineKind::Pink, EngineKind::AnyKeyPlus];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
-    let Some(w) = spec::ALL.iter().copied().find(|w| w.name == "UDB") else {
-        eprintln!("fault: UDB workload spec missing");
-        return;
-    };
+/// Declares one UDB run per (system, read-error rate).
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
+    let w = spec::by_name("UDB").expect("fault workload");
+    let mut out = Vec::new();
+    for kind in SYSTEMS {
+        for ppm in RATES_PPM {
+            let fault = if ppm == 0 {
+                FaultModel::disabled()
+            } else {
+                FaultModel::uniform(ctx.scale.seed ^ u64::from(ppm), ppm)
+            };
+            let cfg = ctx.scale.device_faulty(kind, w, fault);
+            out.push(Point::with_key(
+                format!("fault/UDB/{}/{ppm}ppm", kind.label()),
+                "fault",
+                kind,
+                w,
+                RunKind::Measure(MeasureSpec {
+                    cfg: Some(cfg),
+                    ..Default::default()
+                }),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the degradation table.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Fault sweep: throughput and tail latency vs raw read-error rate (UDB)",
         &[
@@ -39,15 +64,10 @@ pub fn run(ctx: &ExpCtx) {
             "free-blocks",
         ],
     );
-    for kind in [EngineKind::Pink, EngineKind::AnyKeyPlus] {
+    let mut rows = results.iter();
+    for kind in SYSTEMS {
         for ppm in RATES_PPM {
-            let fault = if ppm == 0 {
-                FaultModel::disabled()
-            } else {
-                FaultModel::uniform(ctx.scale.seed ^ u64::from(ppm), ppm)
-            };
-            let cfg = ctx.scale.device_faulty(kind, w, fault);
-            let s = ctx.run_with(kind, w, anykey_workload::KeyDist::default(), 0.2, Some(cfg));
+            let s = &rows.next().expect("fault row").summary;
             t.row([
                 kind.to_string(),
                 fmt_ppm(ppm),

@@ -10,23 +10,38 @@ use anykey_metrics::{Csv, Table};
 use anykey_workload::spec;
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
 /// The paper's Figure 10 workload set, in order (a)–(g).
 pub const WORKLOADS: [&str; 7] = [
     "RTDATA", "Crypto1", "ZippyDB", "Cache15", "Cache", "W-PinK", "KVSSD",
 ];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one standard run per (workload, system). These are the same
+/// simulations Figure 11 consumes; the scheduler deduplicates them when
+/// both experiments are in one sweep.
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig10 workload");
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::standard("fig10", kind, w));
+        }
+    }
+    out
+}
+
+/// Renders the percentile table and the latency CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 10: read latency percentiles",
         &["workload", "system", "p50", "p90", "p95", "p99", "max"],
     );
     let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
     for name in WORKLOADS {
-        let w = spec::by_name(name).expect("fig10 workload");
         for kind in EngineKind::EVALUATED {
-            let s = ctx.run_standard(kind, w);
+            let s = &rows.next().expect("fig10 row").summary;
             t.row([
                 name.to_string(),
                 kind.label().to_string(),

@@ -11,6 +11,7 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
 use super::fig10::WORKLOADS;
 
@@ -18,8 +19,21 @@ fn kb(b: u64) -> String {
     format!("{:.1}", b as f64 / 1024.0)
 }
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares the same standard runs as Figure 10 (deduplicated by the
+/// scheduler when both run in one sweep).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig11 workload");
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::standard("fig11", kind, w));
+        }
+    }
+    out
+}
+
+/// Renders the metadata-placement and reads-per-GET tables.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut a = Table::new(
         "Figure 11a: metadata size and placement (KB)",
         &[
@@ -40,10 +54,10 @@ pub fn run(ctx: &ExpCtx) {
             "workload", "system", "0", "1", "2", "3", "4", "5", "6", "7", "8", ">=9", "mean",
         ],
     );
+    let mut rows = results.iter();
     for name in WORKLOADS {
-        let w = spec::by_name(name).expect("fig11 workload");
         for kind in EngineKind::EVALUATED {
-            let s = ctx.run_standard(kind, w);
+            let s = &rows.next().expect("fig11 row").summary;
             let m = &s.meta;
             a.row([
                 name.to_string(),

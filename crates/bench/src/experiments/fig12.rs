@@ -9,9 +9,22 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, kiops, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one standard run per (workload, system) over all 14 workloads
+/// (shared with Figure 13 via scheduler dedup).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for w in spec::ALL {
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::standard("fig12", kind, w));
+        }
+    }
+    out
+}
+
+/// Renders the IOPS table with per-class mean speedups.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 12: IOPS (virtual-time kIOPS)",
         &[
@@ -26,10 +39,11 @@ pub fn run(ctx: &ExpCtx) {
     );
     let mut low_gain = Vec::new();
     let mut high_gain_plus = Vec::new();
+    let mut rows = results.iter();
     for w in spec::ALL {
         let mut iops = [0.0f64; 3];
-        for (i, kind) in EngineKind::EVALUATED.into_iter().enumerate() {
-            iops[i] = ctx.run_standard(kind, w).report.iops();
+        for slot in iops.iter_mut() {
+            *slot = rows.next().expect("fig12 row").summary.report.iops();
         }
         let r_any = iops[1] / iops[0];
         let r_plus = iops[2] / iops[0];

@@ -11,18 +11,38 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one standard run per (workload, system) over all 14 workloads
+/// (shared with Figure 12 via scheduler dedup).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for w in spec::ALL {
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::standard("fig13", kind, w));
+        }
+    }
+    out
+}
+
+/// Renders the total-page-writes table.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 13: total page writes during the measured phase",
         &["workload", "PinK", "AnyKey", "AnyKey+", "AnyKey+/PinK"],
     );
     let mut ratios = Vec::new();
+    let mut rows = results.iter();
     for w in spec::ALL {
         let mut writes = [0u64; 3];
-        for (i, kind) in EngineKind::EVALUATED.into_iter().enumerate() {
-            writes[i] = ctx.run_standard(kind, w).report.counters.total_writes();
+        for slot in writes.iter_mut() {
+            *slot = rows
+                .next()
+                .expect("fig13 row")
+                .summary
+                .report
+                .counters
+                .total_writes();
         }
         let ratio = writes[2] as f64 / writes[0].max(1) as f64;
         ratios.push(ratio);

@@ -5,39 +5,43 @@
 //! flash-resident meta segments (a second copy of every key), so AnyKey
 //! and AnyKey+ fit substantially more unique data.
 
-use anykey_core::{EngineKind, KvError};
+use anykey_core::EngineKind;
 use anykey_metrics::Table;
-use anykey_workload::{ops::fill_ops, spec, WorkloadSpec};
+use anykey_workload::spec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult, RunKind};
 
-/// Fills a fresh device with unique pairs until it reports full; returns
-/// the achieved utilization (unique bytes / raw capacity).
-pub fn fill_until_full(ctx: &ExpCtx, kind: EngineKind, w: WorkloadSpec) -> f64 {
-    let cfg = ctx.scale.device(kind, w);
-    let mut dev = cfg.build_engine();
-    let huge = 4 * ctx.scale.capacity / w.pair_bytes();
-    for op in fill_ops(w, huge, ctx.scale.seed) {
-        let at = dev.horizon();
-        match dev.execute(&op, at) {
-            Ok(_) => {}
-            Err(KvError::DeviceFull) => break,
-            Err(e) => panic!("unexpected error during fill: {e}"),
+/// Declares one fill-until-full run per (workload, system).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for w in spec::ALL {
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::with_key(
+                format!("fig14/{}/{}", w.name, kind.label()),
+                "fig14",
+                kind,
+                w,
+                RunKind::FillUntilFull,
+            ));
         }
     }
-    dev.metadata().live_unique_bytes as f64 / ctx.scale.capacity as f64
+    out
 }
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Renders the storage-utilization table (live unique bytes ÷ raw
+/// capacity at the device-full point).
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 14: storage utilization (unique KV bytes / raw capacity)",
         &["workload", "class", "PinK", "AnyKey", "AnyKey+"],
     );
+    let mut rows = results.iter();
     for w in spec::ALL {
         let mut u = [0.0f64; 3];
-        for (i, kind) in EngineKind::EVALUATED.into_iter().enumerate() {
-            u[i] = fill_until_full(ctx, kind, w);
+        for slot in u.iter_mut() {
+            let meta = &rows.next().expect("fig14 row").summary.meta;
+            *slot = meta.live_unique_bytes as f64 / ctx.scale.capacity as f64;
         }
         t.row([
             w.name.to_string(),

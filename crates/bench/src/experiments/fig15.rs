@@ -7,24 +7,20 @@
 
 use anykey_core::{DeviceConfig, EngineKind};
 use anykey_metrics::{Csv, Table};
-use anykey_workload::{spec, KeyDist};
+use anykey_workload::spec;
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 const WORKLOADS: [&str; 3] = ["Crypto1", "ETC", "W-PinK"];
 const DRAM_RATIOS: [(f64, &str); 3] = [(0.0005, "0.5x"), (0.001, "1x"), (0.0015, "1.5x")];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
-    let mut t = Table::new(
-        "Figure 15: p95 read latency vs DRAM size (ratio of the default 0.1%)",
-        &["workload", "system", "DRAM 0.5x", "DRAM 1x", "DRAM 1.5x"],
-    );
-    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+/// Declares one run per (workload, system, DRAM budget).
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
     for name in WORKLOADS {
         let w = spec::by_name(name).expect("fig15 workload");
         for kind in EngineKind::EVALUATED {
-            let mut cells = vec![name.to_string(), kind.label().to_string()];
             for (ratio, label) in DRAM_RATIOS {
                 // The write buffer stays at its default size so only the
                 // metadata budget varies, as in the paper.
@@ -37,7 +33,35 @@ pub fn run(ctx: &ExpCtx) {
                     .dram_bytes(dram)
                     .write_buffer_bytes(buffer)
                     .build();
-                let s = ctx.run_with(kind, w, KeyDist::default(), 0.2, Some(cfg));
+                out.push(Point::with_key(
+                    format!("fig15/{name}/{}/dram{label}", kind.label()),
+                    "fig15",
+                    kind,
+                    w,
+                    RunKind::Measure(MeasureSpec {
+                        cfg: Some(cfg),
+                        ..Default::default()
+                    }),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the p95-vs-DRAM table and CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
+    let mut t = Table::new(
+        "Figure 15: p95 read latency vs DRAM size (ratio of the default 0.1%)",
+        &["workload", "system", "DRAM 0.5x", "DRAM 1x", "DRAM 1.5x"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
+    for name in WORKLOADS {
+        for kind in EngineKind::EVALUATED {
+            let mut cells = vec![name.to_string(), kind.label().to_string()];
+            for (_, label) in DRAM_RATIOS {
+                let s = &rows.next().expect("fig15 row").summary;
                 cells.push(lat(s.report.reads.quantile(0.95)));
                 ctx.dump_cdf(&mut cdf, name, kind.label(), label, &s.report.reads);
             }

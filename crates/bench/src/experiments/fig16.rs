@@ -7,9 +7,10 @@
 
 use anykey_core::{DeviceConfig, EngineKind};
 use anykey_metrics::{Csv, Table};
-use anykey_workload::{spec, KeyDist};
+use anykey_workload::spec;
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 const WORKLOADS: [&str; 3] = ["Crypto1", "ETC", "W-PinK"];
 /// (page size, pages per block) — block size held at 1 MiB.
@@ -19,17 +20,12 @@ const PAGES: [(u32, u32, &str); 3] = [
     (16 << 10, 64, "16KB"),
 ];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
-    let mut t = Table::new(
-        "Figure 16: p95 read latency vs flash page size",
-        &["workload", "system", "4KB", "8KB", "16KB"],
-    );
-    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+/// Declares one run per (workload, system, page size).
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
     for name in WORKLOADS {
         let w = spec::by_name(name).expect("fig16 workload");
         for kind in EngineKind::EVALUATED {
-            let mut cells = vec![name.to_string(), kind.label().to_string()];
             for (page, ppb, label) in PAGES {
                 let cfg = DeviceConfig::builder()
                     .capacity_bytes(ctx.scale.capacity)
@@ -38,7 +34,35 @@ pub fn run(ctx: &ExpCtx) {
                     .page_size(page)
                     .pages_per_block(ppb)
                     .build();
-                let s = ctx.run_with(kind, w, KeyDist::default(), 0.2, Some(cfg));
+                out.push(Point::with_key(
+                    format!("fig16/{name}/{}/page{label}", kind.label()),
+                    "fig16",
+                    kind,
+                    w,
+                    RunKind::Measure(MeasureSpec {
+                        cfg: Some(cfg),
+                        ..Default::default()
+                    }),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the p95-vs-page-size table and CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
+    let mut t = Table::new(
+        "Figure 16: p95 read latency vs flash page size",
+        &["workload", "system", "4KB", "8KB", "16KB"],
+    );
+    let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
+    for name in WORKLOADS {
+        for kind in EngineKind::EVALUATED {
+            let mut cells = vec![name.to_string(), kind.label().to_string()];
+            for (_, _, label) in PAGES {
+                let s = &rows.next().expect("fig16 row").summary;
                 cells.push(lat(s.report.reads.quantile(0.95)));
                 ctx.dump_cdf(&mut cdf, name, kind.label(), label, &s.report.reads);
             }

@@ -10,6 +10,7 @@ use anykey_metrics::{Csv, Table};
 use anykey_workload::{spec, KeyDist};
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 const DISTS: [(&str, KeyDist); 4] = [
     ("uniform", KeyDist::Uniform),
@@ -18,18 +19,39 @@ const DISTS: [(&str, KeyDist); 4] = [
     ("zipf-0.99", KeyDist::Zipfian { theta: 0.99 }),
 ];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one ETC run per (system, key distribution).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
     let w = spec::by_name("ETC").expect("fig17 workload");
+    let mut out = Vec::new();
+    for kind in EngineKind::EVALUATED {
+        for (label, dist) in DISTS.clone() {
+            out.push(Point::with_key(
+                format!("fig17/ETC/{}/{label}", kind.label()),
+                "fig17",
+                kind,
+                w,
+                RunKind::Measure(MeasureSpec {
+                    dist,
+                    ..Default::default()
+                }),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the p95-vs-distribution table and CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 17: ETC p95 read latency vs key distribution",
         &["system", "uniform", "zipf-0.6", "zipf-0.8", "zipf-0.99"],
     );
     let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
     for kind in EngineKind::EVALUATED {
         let mut cells = vec![kind.label().to_string()];
-        for (label, dist) in DISTS.clone() {
-            let s = ctx.run_with(kind, w, dist, 0.2, None);
+        for (label, _) in DISTS.clone() {
+            let s = &rows.next().expect("fig17 row").summary;
             cells.push(lat(s.report.reads.quantile(0.95)));
             ctx.dump_cdf(&mut cdf, "ETC", kind.label(), label, &s.report.reads);
         }

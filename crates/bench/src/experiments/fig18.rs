@@ -10,21 +10,40 @@ use anykey_metrics::{Csv, Table};
 use anykey_workload::spec;
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{Point, PointResult, RunKind};
 
 const LENGTHS: [u32; 4] = [10, 100, 150, 200];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one UDB scan-heavy run per (system, scan length).
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
     let w = spec::by_name("UDB").expect("fig18 workload");
+    let mut out = Vec::new();
+    for kind in EngineKind::EVALUATED {
+        for len in LENGTHS {
+            out.push(Point::with_key(
+                format!("fig18/UDB/{}/len{len}", kind.label()),
+                "fig18",
+                kind,
+                w,
+                RunKind::Measure(ctx.scan_recipe(w, len)),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the scan-p95 table and scan-latency CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 18: UDB scan latency (p95) vs scan length",
         &["system", "len 10", "len 100", "len 150", "len 200"],
     );
     let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
     for kind in EngineKind::EVALUATED {
         let mut cells = vec![kind.label().to_string()];
         for len in LENGTHS {
-            let s = ctx.run_scans(kind, w, len);
+            let s = &rows.next().expect("fig18 row").summary;
             cells.push(lat(s.report.scans.quantile(0.95)));
             ctx.dump_cdf(
                 &mut cdf,

@@ -10,15 +10,68 @@
 use anykey_core::{DeviceConfig, EngineKind};
 use anykey_metrics::report::fmt_count;
 use anykey_metrics::Table;
-use anykey_workload::{spec, KeyDist};
+use anykey_workload::spec;
 
 use crate::common::{emit, kiops, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 const WORKLOADS: [&str; 3] = ["ZippyDB", "UDB", "ETC"];
 const LOG_FRACS: [(f64, &str); 3] = [(0.05, "5%"), (0.10, "10%"), (0.15, "15%")];
+const ABLATION_RATIOS: [f64; 2] = [0.2, 0.4];
+const ABLATION_KINDS: [EngineKind; 2] = [EngineKind::AnyKeyPlus, EngineKind::AnyKeyNoLog];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares the log-size sweep (AnyKey+ per workload × log fraction)
+/// followed by the Section 6.7 ablation grid.
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig19 workload");
+        for (frac, label) in LOG_FRACS {
+            let cfg = DeviceConfig::builder()
+                .capacity_bytes(ctx.scale.capacity)
+                .engine(EngineKind::AnyKeyPlus)
+                .key_len(w.key_len as u16)
+                .value_log_bytes((ctx.scale.capacity as f64 * frac) as u64)
+                .build();
+            out.push(Point::with_key(
+                format!("fig19/{name}/AnyKey+/log{label}"),
+                "fig19",
+                EngineKind::AnyKeyPlus,
+                w,
+                RunKind::Measure(MeasureSpec {
+                    cfg: Some(cfg),
+                    ..Default::default()
+                }),
+            ));
+        }
+    }
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("fig19 workload");
+        for ratio in ABLATION_RATIOS {
+            for kind in ABLATION_KINDS {
+                out.push(Point::with_key(
+                    format!(
+                        "fig19/{name}/{}/w{:02}",
+                        kind.label(),
+                        (ratio * 100.0) as u32
+                    ),
+                    "fig19",
+                    kind,
+                    w,
+                    RunKind::Measure(MeasureSpec {
+                        write_ratio: ratio,
+                        ..Default::default()
+                    }),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the log-size sweep tables (19a IOPS, 19b page writes) and the
+/// ablation table.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut a = Table::new(
         "Figure 19a: AnyKey+ IOPS (kIOPS) vs value-log size",
         &["workload", "log 5%", "log 10%", "log 15%"],
@@ -27,24 +80,12 @@ pub fn run(ctx: &ExpCtx) {
         "Figure 19b: AnyKey+ total page writes vs value-log size",
         &["workload", "log 5%", "log 10%", "log 15%"],
     );
+    let mut rows = results.iter();
     for name in WORKLOADS {
-        let w = spec::by_name(name).expect("fig19 workload");
         let mut ra = vec![name.to_string()];
         let mut rb = vec![name.to_string()];
-        for (frac, _) in LOG_FRACS {
-            let cfg = DeviceConfig::builder()
-                .capacity_bytes(ctx.scale.capacity)
-                .engine(EngineKind::AnyKeyPlus)
-                .key_len(w.key_len as u16)
-                .value_log_bytes((ctx.scale.capacity as f64 * frac) as u64)
-                .build();
-            let s = ctx.run_with(
-                EngineKind::AnyKeyPlus,
-                w,
-                KeyDist::default(),
-                0.2,
-                Some(cfg),
-            );
+        for _ in LOG_FRACS {
+            let s = &rows.next().expect("fig19 sweep row").summary;
             ra.push(kiops(s.report.iops()));
             rb.push(fmt_count(s.report.counters.total_writes()));
         }
@@ -66,11 +107,10 @@ pub fn run(ctx: &ExpCtx) {
         ],
     );
     for name in WORKLOADS {
-        let w = spec::by_name(name).expect("fig19 workload");
         let mut row = vec![name.to_string()];
-        for ratio in [0.2, 0.4] {
-            for kind in [EngineKind::AnyKeyPlus, EngineKind::AnyKeyNoLog] {
-                let s = ctx.run_with(kind, w, KeyDist::default(), ratio, None);
+        for _ in ABLATION_RATIOS {
+            for _ in ABLATION_KINDS {
+                let s = &rows.next().expect("fig19 ablation row").summary;
                 row.push(kiops(s.report.iops()));
             }
         }

@@ -7,19 +7,36 @@ use anykey_metrics::{Csv, Table};
 use anykey_workload::WorkloadSpec;
 
 use crate::common::{emit, kiops, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
 const VALUES: [u32; 7] = [20, 40, 80, 160, 320, 640, 1280];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one PinK run per value size.
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    VALUES
+        .iter()
+        .map(|&v| {
+            Point::with_key(
+                format!("fig2/40-{v}/PinK"),
+                "fig2",
+                EngineKind::Pink,
+                WorkloadSpec::synthetic("vk-sweep", 40, v),
+                RunKind::Measure(MeasureSpec::default()),
+            )
+        })
+        .collect()
+}
+
+/// Renders the v/k sweep table and latency CDFs.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Figure 2: PinK under varying value-to-key ratios (key = 40B)",
         &["v/k", "p50 read", "p95 read", "p99 read", "kIOPS"],
     );
     let mut cdf = Csv::new("workload,system,series,latency_us,cdf");
+    let mut rows = results.iter();
     for v in VALUES {
-        let spec = WorkloadSpec::synthetic("vk-sweep", 40, v);
-        let s = ctx.run_standard(EngineKind::Pink, spec);
+        let s = &rows.next().expect("fig2 row").summary;
         let label = format!("{}/40", v);
         t.row([
             label.clone(),

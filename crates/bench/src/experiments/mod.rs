@@ -1,5 +1,9 @@
-//! One module per paper table/figure. Each exposes
-//! `pub fn run(ctx: &ExpCtx)`.
+//! One module per paper table/figure. Each exposes a declarative
+//! [`points`](Experiment::points) list (the simulations it needs) and a
+//! [`render`](Experiment::render) pass that turns the scheduled results —
+//! delivered in declaration order — into tables and CSVs. The scheduler
+//! in [`crate::scheduler`] owns all execution; no experiment runs a
+//! simulation inline.
 
 /// Media fault-injection sweep: graceful degradation under read/program/
 /// erase faults (not a paper figure).
@@ -28,7 +32,7 @@ pub mod fig19;
 pub mod fig2;
 /// Multi-tenant workload mix experiment.
 pub mod multitenant;
-/// Diagnostic probe runs (not a paper figure).
+/// Diagnostic probe runs (not a paper figure; imperative, not scheduled).
 pub mod probe;
 /// Device-size scalability sweep.
 pub mod scalability;
@@ -38,48 +42,111 @@ pub mod table1;
 pub mod table3;
 
 use crate::common::ExpCtx;
+use crate::scheduler::{Point, PointResult};
 
-/// All experiment ids in paper order.
-pub const ALL: [&str; 16] = [
-    "table1",
-    "fig2",
-    "table3",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "fig16",
-    "fig17",
-    "fig18",
-    "fig19",
-    "scalability",
-    "multitenant",
-    "fault",
+/// A declarative experiment: a point list plus an order-preserving
+/// renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Stable experiment id as used on the command line.
+    pub id: &'static str,
+    /// Declares the simulations this experiment needs, in row order.
+    pub points: fn(&ExpCtx) -> Vec<Point>,
+    /// Renders tables/CSVs from the results, which arrive in exactly the
+    /// order [`Experiment::points`] declared them.
+    pub render: fn(&ExpCtx, &[PointResult]),
+}
+
+/// All experiments in paper order.
+pub const ALL: [Experiment; 16] = [
+    Experiment {
+        id: "table1",
+        points: table1::points,
+        render: table1::render,
+    },
+    Experiment {
+        id: "fig2",
+        points: fig2::points,
+        render: fig2::render,
+    },
+    Experiment {
+        id: "table3",
+        points: table3::points,
+        render: table3::render,
+    },
+    Experiment {
+        id: "fig10",
+        points: fig10::points,
+        render: fig10::render,
+    },
+    Experiment {
+        id: "fig11",
+        points: fig11::points,
+        render: fig11::render,
+    },
+    Experiment {
+        id: "fig12",
+        points: fig12::points,
+        render: fig12::render,
+    },
+    Experiment {
+        id: "fig13",
+        points: fig13::points,
+        render: fig13::render,
+    },
+    Experiment {
+        id: "fig14",
+        points: fig14::points,
+        render: fig14::render,
+    },
+    Experiment {
+        id: "fig15",
+        points: fig15::points,
+        render: fig15::render,
+    },
+    Experiment {
+        id: "fig16",
+        points: fig16::points,
+        render: fig16::render,
+    },
+    Experiment {
+        id: "fig17",
+        points: fig17::points,
+        render: fig17::render,
+    },
+    Experiment {
+        id: "fig18",
+        points: fig18::points,
+        render: fig18::render,
+    },
+    Experiment {
+        id: "fig19",
+        points: fig19::points,
+        render: fig19::render,
+    },
+    Experiment {
+        id: "scalability",
+        points: scalability::points,
+        render: scalability::render,
+    },
+    Experiment {
+        id: "multitenant",
+        points: multitenant::points,
+        render: multitenant::render,
+    },
+    Experiment {
+        id: "fault",
+        points: fault::points,
+        render: fault::render,
+    },
 ];
 
-/// Dispatches one experiment by id; returns false for unknown ids.
-pub fn dispatch(id: &str, ctx: &ExpCtx) -> bool {
-    match id {
-        "table1" => table1::run(ctx),
-        "fig2" => fig2::run(ctx),
-        "table3" => table3::run(ctx),
-        "fig10" => fig10::run(ctx),
-        "fig11" => fig11::run(ctx),
-        "fig12" => fig12::run(ctx),
-        "fig13" => fig13::run(ctx),
-        "fig14" => fig14::run(ctx),
-        "fig15" => fig15::run(ctx),
-        "fig16" => fig16::run(ctx),
-        "fig17" => fig17::run(ctx),
-        "fig18" => fig18::run(ctx),
-        "fig19" => fig19::run(ctx),
-        "scalability" => scalability::run(ctx),
-        "multitenant" => multitenant::run(ctx),
-        "fault" => fault::run(ctx),
-        "probe" => probe::run(ctx),
-        _ => return false,
-    }
-    true
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<&'static Experiment> {
+    ALL.iter().find(|e| e.id == id)
+}
+
+/// All experiment ids, for usage strings.
+pub fn ids() -> Vec<&'static str> {
+    ALL.iter().map(|e| e.id).collect()
 }

@@ -10,27 +10,23 @@
 //! devices (half DRAM each); cross-tenant chip contention is not modeled
 //! (see EXPERIMENTS.md).
 
-use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
-use anykey_core::{runner, warm_up, DeviceConfig, EngineKind};
+use anykey_core::{DeviceConfig, EngineKind};
 use anykey_metrics::Table;
-use anykey_workload::{spec, OpStreamBuilder};
+use anykey_workload::spec;
 
 use crate::common::{emit, lat, ExpCtx};
+use crate::scheduler::{MeasureSpec, Point, PointResult, RunKind};
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
-    let mut t = Table::new(
-        "Section 6.9: two-tenant partitioned device (p95 read latency)",
-        &["tenant", "PinK", "AnyKey", "improvement"],
-    );
+const TENANTS: [&str; 2] = ["W-PinK", "ZippyDB"];
+const SYSTEMS: [EngineKind; 2] = [EngineKind::Pink, EngineKind::AnyKeyPlus];
+
+/// Declares one half-capacity partition run per (tenant, system).
+pub fn points(ctx: &ExpCtx) -> Vec<Point> {
     let half = ctx.scale.capacity / 2;
-    for name in ["W-PinK", "ZippyDB"] {
+    let mut out = Vec::new();
+    for name in TENANTS {
         let w = spec::by_name(name).expect("multitenant workload");
-        let mut p95 = [0u64; 2];
-        for (i, kind) in [EngineKind::Pink, EngineKind::AnyKeyPlus]
-            .into_iter()
-            .enumerate()
-        {
+        for kind in SYSTEMS {
             // Half-capacity partitions need proportionally smaller erase
             // blocks to keep one block per chip.
             let cfg = DeviceConfig::builder()
@@ -39,17 +35,44 @@ pub fn run(ctx: &ExpCtx) {
                 .engine(kind)
                 .key_len(w.key_len as u16)
                 .build();
-            let mut dev = cfg.build_engine();
             let keyspace =
                 ((half as f64 * ctx.scale.fill_for(w)) / w.pair_bytes() as f64 * 0.9) as u64;
-            warm_up(dev.as_mut(), w, keyspace, ctx.scale.seed).expect("multitenant warm-up");
-            let ops = OpStreamBuilder::new(w, keyspace)
-                .seed(ctx.scale.seed ^ 0x7E4A)
-                .build();
-            let n = (half as f64 * ctx.scale.ops_factor / w.pair_bytes() as f64) as u64;
-            let report =
-                runner::run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH).expect("multitenant run");
-            p95[i] = report.reads.quantile(0.95);
+            let ops = (half as f64 * ctx.scale.ops_factor / w.pair_bytes() as f64) as u64;
+            out.push(Point::with_key(
+                format!("multitenant/{name}/{}", kind.label()),
+                "multitenant",
+                kind,
+                w,
+                RunKind::Measure(MeasureSpec {
+                    cfg: Some(cfg),
+                    keyspace: Some(keyspace),
+                    ops: Some(ops),
+                    seed_salt: 0x7E4A,
+                    ..Default::default()
+                }),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the two-tenant p95 table with the PinK→AnyKey improvement.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
+    let mut t = Table::new(
+        "Section 6.9: two-tenant partitioned device (p95 read latency)",
+        &["tenant", "PinK", "AnyKey", "improvement"],
+    );
+    let mut rows = results.iter();
+    for name in TENANTS {
+        let mut p95 = [0u64; 2];
+        for slot in p95.iter_mut() {
+            *slot = rows
+                .next()
+                .expect("multitenant row")
+                .summary
+                .report
+                .reads
+                .quantile(0.95);
         }
         let improvement = p95[0] as f64 / p95[1].max(1) as f64;
         t.row([

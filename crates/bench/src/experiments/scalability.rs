@@ -9,13 +9,19 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
 fn gb(b: u64) -> String {
     format!("{:.2}GB", b as f64 / (1u64 << 30) as f64)
 }
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Purely analytic — no simulation points.
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    Vec::new()
+}
+
+/// Renders the analytic metadata-demand table.
+pub fn render(ctx: &ExpCtx, _results: &[PointResult]) {
     let mut t = Table::new(
         "Section 6.8: metadata demand vs device capacity (Crypto1, DRAM = 0.1%)",
         &[

@@ -12,12 +12,17 @@ use anykey_metrics::Table;
 use anykey_workload::WorkloadSpec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult, RunKind};
 
 const ROWS: [(&str, u32, u32); 3] = [
     ("4.0 (160B/40B)", 40, 160),
     ("2.0 (120B/60B)", 60, 120),
     ("1.0 (80B/80B)", 80, 80),
 ];
+
+/// The engines the measured columns compare (AnyKey+ shares AnyKey's
+/// metadata layout, so the paper compares two).
+const KINDS: [EngineKind; 2] = [EngineKind::Pink, EngineKind::AnyKey];
 
 fn mb(b: u64) -> String {
     format!("{:.1}MB", b as f64 / (1 << 20) as f64)
@@ -27,8 +32,27 @@ fn kb(b: u64) -> String {
     format!("{:.1}KB", b as f64 / 1024.0)
 }
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares the measured-columns points: one warm-up-only run per
+/// (v/k row, engine).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for (_, k, v) in ROWS {
+        let spec = WorkloadSpec::synthetic("table1", k, v);
+        for kind in KINDS {
+            out.push(Point::with_key(
+                format!("table1/vk{k}-{v}/{}", kind.label()),
+                "table1",
+                kind,
+                spec,
+                RunKind::WarmUpOnly { cfg: None },
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the analytic model table and the measured table.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     // (a) Analytic model at the paper's scale: 64 GB device, 64 MB DRAM.
     let mut t = Table::new(
         "Table 1 (model @ paper scale 64GB/64MB): metadata demand",
@@ -75,15 +99,10 @@ pub fn run(ctx: &ExpCtx) {
             "DRAM used/cap",
         ],
     );
-    for (label, k, v) in ROWS {
-        let spec = WorkloadSpec::synthetic("table1", k, v);
-        for kind in [EngineKind::Pink, EngineKind::AnyKey] {
-            let cfg = ctx.scale.device(kind, spec);
-            let mut dev = cfg.build_engine();
-            let keyspace = ctx.scale.keyspace(spec);
-            anykey_core::warm_up(dev.as_mut(), spec, keyspace, ctx.scale.seed)
-                .expect("table1 warm-up");
-            let m = dev.metadata();
+    let mut rows = results.iter();
+    for (label, _, _) in ROWS {
+        for kind in KINDS {
+            let m = &rows.next().expect("table1 row").summary.meta;
             e.row([
                 label.to_string(),
                 kind.label().to_string(),

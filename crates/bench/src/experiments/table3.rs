@@ -13,11 +13,24 @@ use anykey_metrics::Table;
 use anykey_workload::spec;
 
 use crate::common::{emit, ExpCtx};
+use crate::scheduler::{Point, PointResult};
 
 const WORKLOADS: [&str; 4] = ["Crypto1", "Cache", "W-PinK", "KVSSD"];
 
-/// Runs the experiment.
-pub fn run(ctx: &ExpCtx) {
+/// Declares one standard run per (workload, system).
+pub fn points(_ctx: &ExpCtx) -> Vec<Point> {
+    let mut out = Vec::new();
+    for name in WORKLOADS {
+        let w = spec::by_name(name).expect("table3 workload");
+        for kind in EngineKind::EVALUATED {
+            out.push(Point::standard("table3", kind, w));
+        }
+    }
+    out
+}
+
+/// Renders the flash-traffic table.
+pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
     let mut t = Table::new(
         "Table 3: compaction and GC page reads/writes",
         &[
@@ -33,10 +46,10 @@ pub fn run(ctx: &ExpCtx) {
             "erases",
         ],
     );
+    let mut rows = results.iter();
     for name in WORKLOADS {
-        let w = spec::by_name(name).expect("table3 workload");
         for kind in EngineKind::EVALUATED {
-            let s = ctx.run_standard(kind, w);
+            let s = &rows.next().expect("table3 row").summary;
             let c = &s.report.counters;
             t.row([
                 name.to_string(),

@@ -15,6 +15,10 @@
 pub mod common;
 /// One module per reproduced paper table/figure.
 pub mod experiments;
+/// Declarative experiment points and the deterministic parallel scheduler.
+pub mod scheduler;
 
 /// Experiment context and result summary types.
 pub use common::{ExpCtx, Scale, Summary};
+/// The scheduler's point model and entry points.
+pub use scheduler::{build_summary, run_points, Point, PointResult, RunKind, SchedulerRun};

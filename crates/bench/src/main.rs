@@ -2,30 +2,43 @@
 //!
 //! ```text
 //! anykey-bench <experiment|all> [--capacity-mb N] [--fill F]
-//!              [--ops-factor F] [--out DIR] [--seed S] [--quick]
+//!              [--ops-factor F] [--out DIR] [--seed S] [--jobs N] [--quick]
 //! ```
-
-use std::time::Instant;
+//!
+//! Experiments declare [`Point`](anykey_bench::Point)s; the scheduler runs
+//! them (optionally in parallel) and hands results back in declaration
+//! order, so the rendered CSVs and `summary.json` are byte-identical for
+//! any `--jobs` value. Wall-clock timing lives in the scheduler, not here.
 
 use anykey_bench::common::Scale;
-use anykey_bench::experiments;
+use anykey_bench::experiments::{self, Experiment};
+use anykey_bench::scheduler::{build_summary, run_points, Point};
 use anykey_bench::ExpCtx;
 
 fn usage() -> ! {
     eprintln!(
         "usage: anykey-bench <experiment|all> [options]\n\
-         experiments: {}\n\
+         experiments: {} probe\n\
          options:\n\
            --capacity-mb N   device capacity in MiB (default 64)\n\
            --fill F          warm-up fill fraction (default 0.55)\n\
            --ops-factor F    measured ops as multiple of capacity (default 2.0)\n\
            --out DIR         CSV output directory (default results/)\n\
            --seed S          RNG seed\n\
+           --jobs N          worker threads for the point scheduler (default 1)\n\
            --bg-residual-ns N  residual fg wait after a bg suspend (default 100000)\n\
            --quick           small/fast smoke scale",
-        experiments::ALL.join(" ")
+        experiments::ids().join(" ")
     );
     std::process::exit(2)
+}
+
+/// One requested experiment and the slice of the global point list it
+/// declared (empty for the imperative `probe`).
+struct PlanEntry {
+    id: String,
+    exp: Option<&'static Experiment>,
+    range: std::ops::Range<usize>,
 }
 
 fn main() {
@@ -35,6 +48,7 @@ fn main() {
     }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::default();
+    let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +85,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--bg-residual-ns" => {
                 i += 1;
                 scale.bg_residual_ns = args
@@ -88,7 +110,7 @@ fn main() {
         usage();
     }
     if ids.iter().any(|i| i == "all") {
-        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+        ids = experiments::ids().iter().map(|s| s.to_string()).collect();
     }
 
     let ctx = ExpCtx::new(scale);
@@ -99,13 +121,62 @@ fn main() {
         ctx.scale.fill * 100.0,
         ctx.scale.seed
     );
+
+    // Gather every selected experiment's declared points into one global
+    // list so the scheduler can dedup and balance across all of them.
+    let mut plan: Vec<PlanEntry> = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
     for id in &ids {
-        let t0 = Instant::now();
-        println!("## {id}");
-        if !experiments::dispatch(id, &ctx) {
+        if id == "probe" {
+            plan.push(PlanEntry {
+                id: id.clone(),
+                exp: None,
+                range: points.len()..points.len(),
+            });
+            continue;
+        }
+        let Some(exp) = experiments::by_id(id) else {
             eprintln!("unknown experiment '{id}'");
             usage();
-        }
-        println!("({id} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+        };
+        let start = points.len();
+        points.extend((exp.points)(&ctx));
+        plan.push(PlanEntry {
+            id: id.clone(),
+            exp: Some(exp),
+            range: start..points.len(),
+        });
     }
+
+    let run = run_points(&ctx, &points, jobs);
+
+    // Harness notes (keyspace shrinks etc.) surface after the sweep, in
+    // declaration order — never interleaved by worker threads.
+    for r in &run.results {
+        if let Some(note) = &r.note {
+            eprintln!("{note}");
+        }
+    }
+
+    for entry in &plan {
+        println!("## {}", entry.id);
+        match entry.exp {
+            Some(exp) => (exp.render)(&ctx, &run.results[entry.range.clone()]),
+            None => experiments::probe::run(&ctx),
+        }
+    }
+
+    let summary = build_summary(&ctx, &points, &run);
+    let path = ctx.scale.out("summary.json");
+    match summary.write(&path) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!(
+        "\nscheduled {} points ({} unique simulations) on {} jobs in {:.1}s",
+        points.len(),
+        run.executed,
+        run.jobs,
+        run.wall_secs
+    );
 }

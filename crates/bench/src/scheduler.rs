@@ -1,0 +1,441 @@
+//! The deterministic parallel experiment scheduler.
+//!
+//! Every experiment module declares its work as a flat list of [`Point`]s —
+//! one isolated discrete-virtual-time simulation each (engine + workload +
+//! run recipe + seed salt) — instead of running simulations inline. This
+//! module executes those points on a `std::thread::scope` worker pool with
+//! a bounded work queue and collects the results **in declaration order**,
+//! so `--jobs N` and `--jobs 1` produce byte-identical CSVs: each point is
+//! a self-contained simulation with its own seeded RNGs and engine
+//! instance, and nothing about thread interleaving can leak into its
+//! output. Rendering (tables, CSVs, notes) happens strictly after
+//! collection, on the declared order.
+//!
+//! Identical points are deduplicated before execution: several paper
+//! figures re-run the same (engine, workload, recipe) triple (e.g. Figure
+//! 10's latency CDFs and Figure 11's reads-per-GET histograms come from
+//! the same runs), and determinism guarantees the results are
+//! interchangeable, so each unique simulation runs once and its result is
+//! fanned back out to every requesting point.
+//!
+//! Wall-clock timing is confined to this file (and the self-contained
+//! `micro` bench): `xtask lint`'s no-wall-clock rule allowlists exactly
+//! these, keeping the simulation itself on virtual nanoseconds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
+use anykey_core::{run, warm_up, DeviceConfig, EngineKind, KvError, MetadataStats, RunReport};
+use anykey_metrics::summary::{PointSummary, RunSummary, SCHEMA_VERSION};
+use anykey_workload::{ops::fill_ops, KeyDist, OpStreamBuilder, WorkloadSpec};
+
+use crate::common::{ExpCtx, Summary};
+
+/// The measured-phase recipe of a [`RunKind::Measure`] point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureSpec {
+    /// Key-popularity distribution of the measured phase.
+    pub dist: KeyDist,
+    /// Fraction of measured requests that are PUTs.
+    pub write_ratio: f64,
+    /// Optional scan mix: `(scan_ratio, scan_len)`.
+    pub scans: Option<(f64, u32)>,
+    /// Device-config override; `None` uses the standard scale config.
+    pub cfg: Option<DeviceConfig>,
+    /// Warm-up keyspace override; `None` derives it from the scale.
+    pub keyspace: Option<u64>,
+    /// Measured-op-count override; `None` derives it from the scale.
+    pub ops: Option<u64>,
+    /// XOR salt applied to the scale seed for the measured op stream.
+    pub seed_salt: u64,
+}
+
+impl Default for MeasureSpec {
+    fn default() -> Self {
+        Self {
+            dist: KeyDist::default(),
+            write_ratio: 0.2,
+            scans: None,
+            cfg: None,
+            keyspace: None,
+            ops: None,
+            seed_salt: 0xBEEF,
+        }
+    }
+}
+
+/// What a point actually simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunKind {
+    /// Warm up to the scale keyspace, then drive a measured phase.
+    Measure(MeasureSpec),
+    /// Warm up only and snapshot metadata (Table 1's measured columns).
+    WarmUpOnly {
+        /// Device-config override; `None` uses the standard scale config.
+        cfg: Option<DeviceConfig>,
+    },
+    /// Insert unique pairs until the device reports full (Figure 14).
+    FillUntilFull,
+}
+
+/// One declarative experiment point: a single isolated simulation and the
+/// identity of the output row it feeds.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Output row key, unique within a run
+    /// (`experiment/workload/system[/variant]`).
+    pub key: String,
+    /// Owning experiment id (`fig10`, `table3`, ...).
+    pub experiment: &'static str,
+    /// System under test.
+    pub kind: EngineKind,
+    /// Workload definition.
+    pub spec: WorkloadSpec,
+    /// The run recipe.
+    pub run: RunKind,
+}
+
+impl Point {
+    /// A standard-recipe point (paper default mix: Zipfian 0.99, 20 %
+    /// writes) — the common case.
+    pub fn standard(experiment: &'static str, kind: EngineKind, spec: WorkloadSpec) -> Self {
+        Self::with_key(
+            format!("{experiment}/{}/{}", spec.name, kind.label()),
+            experiment,
+            kind,
+            spec,
+            RunKind::Measure(MeasureSpec::default()),
+        )
+    }
+
+    /// A fully explicit point.
+    pub fn with_key(
+        key: String,
+        experiment: &'static str,
+        kind: EngineKind,
+        spec: WorkloadSpec,
+        run: RunKind,
+    ) -> Self {
+        Self {
+            key,
+            experiment,
+            kind,
+            spec,
+            run,
+        }
+    }
+
+    /// Whether two points describe the *same simulation* (identical
+    /// engine, workload, and recipe) and may therefore share one
+    /// execution. Keys and owning experiments are display identity and do
+    /// not participate.
+    pub fn same_work(&self, other: &Point) -> bool {
+        self.kind == other.kind && self.spec == other.spec && self.run == other.run
+    }
+}
+
+/// The outcome of one executed point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Measured-phase report and final metadata snapshot.
+    pub summary: Summary,
+    /// Write amplification of the point (flash programs ÷ minimal host
+    /// data pages; 0 when nothing was written).
+    pub waf: f64,
+    /// Host wall-clock seconds this point's simulation took. The only
+    /// non-deterministic field; never rendered into CSVs.
+    pub wall_secs: f64,
+    /// Deterministic harness note (e.g. a keyspace shrink), printed after
+    /// collection in point order.
+    pub note: Option<String>,
+}
+
+/// A completed scheduled sweep.
+#[derive(Debug)]
+pub struct SchedulerRun {
+    /// One result per requested point, in declaration order.
+    pub results: Vec<PointResult>,
+    /// Unique simulations actually executed (after deduplication).
+    pub executed: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+}
+
+/// Executes `points` on `jobs` worker threads and returns the results in
+/// declaration order.
+///
+/// The work queue is bounded by construction: it is the fixed list of
+/// unique points, with a single atomic cursor handing out the next index.
+/// Workers never allocate new work and never block on each other; results
+/// land in pre-allocated per-point slots, so collection order is the
+/// declaration order regardless of completion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any point's simulation (a point that cannot
+/// complete even at half keyspace panics, exactly as the serial harness
+/// did).
+pub fn run_points(ctx: &ExpCtx, points: &[Point], jobs: usize) -> SchedulerRun {
+    let t0 = Instant::now();
+
+    // Deduplicate identical simulations, preserving first-seen order:
+    // `unique[slot]` is the representative point index, `assign[i]` the
+    // slot feeding point `i`.
+    let mut unique: Vec<usize> = Vec::new();
+    let mut assign: Vec<usize> = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        match unique.iter().position(|&u| points[u].same_work(p)) {
+            Some(slot) => assign.push(slot),
+            None => {
+                assign.push(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+
+    let jobs = jobs.clamp(1, unique.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PointResult>>> = unique.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&point_idx) = unique.get(i) else {
+                    break;
+                };
+                let result = execute_point(ctx, &points[point_idx]);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(result);
+                }
+            });
+        }
+    });
+
+    let results = assign
+        .iter()
+        .map(|&slot| {
+            slots[slot]
+                .lock()
+                .expect("scheduler slot poisoned")
+                .clone()
+                .expect("scheduler slot not filled")
+        })
+        .collect();
+
+    SchedulerRun {
+        results,
+        executed: unique.len(),
+        jobs,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Executes one point's simulation (on the calling thread) and times it.
+pub fn execute_point(ctx: &ExpCtx, point: &Point) -> PointResult {
+    let t0 = Instant::now();
+    let (summary, waf, note) = match &point.run {
+        RunKind::Measure(m) => execute_measure(ctx, point, m),
+        RunKind::WarmUpOnly { cfg } => execute_warm_up(ctx, point, cfg.clone()),
+        RunKind::FillUntilFull => execute_fill(ctx, point),
+    };
+    PointResult {
+        summary,
+        waf,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        note,
+    }
+}
+
+/// An empty measured-phase report anchored at virtual time `at` (used by
+/// warm-up-only and fill points, which have no measured phase).
+fn empty_report(at: u64) -> RunReport {
+    RunReport {
+        reads: anykey_metrics::LatencyHist::new(),
+        writes: anykey_metrics::LatencyHist::new(),
+        scans: anykey_metrics::LatencyHist::new(),
+        ops: 0,
+        found: 0,
+        not_found: 0,
+        start: at,
+        end: at,
+        counters: anykey_flash::FlashCounters::new(),
+        reads_per_get: [0; anykey_core::runner::MAX_TRACKED_READS + 1],
+    }
+}
+
+fn waf_of(report: &RunReport, meta: &MetadataStats, spec: WorkloadSpec, cfg: &DeviceConfig) -> f64 {
+    let payload = u64::from(cfg.page_payload()).max(1);
+    // Minimal pages for the host bytes this point wrote: the measured
+    // PUT/DELETE stream when there was one, the live unique bytes for
+    // fill/warm-up points.
+    let host_bytes = if report.writes.count() > 0 {
+        report.writes.count() * spec.pair_bytes()
+    } else {
+        meta.live_unique_bytes
+    };
+    let denom = host_bytes.div_ceil(payload);
+    if denom == 0 {
+        return 0.0;
+    }
+    report.counters.total_writes() as f64 / denom as f64
+}
+
+fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> (Summary, f64, Option<String>) {
+    let spec = point.spec;
+    let cfg = m
+        .cfg
+        .clone()
+        .unwrap_or_else(|| ctx.scale.device(point.kind, spec));
+    let base_keyspace = m.keyspace.unwrap_or_else(|| ctx.scale.keyspace(spec));
+    let n = m.ops.unwrap_or_else(|| ctx.scale.measured_ops(spec));
+    // A configuration can sit so close to a system's capacity limit that
+    // updates during the measured phase fill the device (that limit is
+    // itself a result — Figure 14); rather than abort the whole suite,
+    // retry with a slightly smaller keyspace.
+    for shrink in [1.0, 0.85, 0.7, 0.5] {
+        let mut dev = cfg.build_engine();
+        let keyspace = ((base_keyspace as f64 * shrink) as u64).max(1_000);
+        if warm_up(dev.as_mut(), spec, keyspace, ctx.scale.seed).is_err() {
+            continue;
+        }
+        let mut builder = OpStreamBuilder::new(spec, keyspace)
+            .write_ratio(m.write_ratio)
+            .dist(m.dist.clone())
+            .seed(ctx.scale.seed ^ m.seed_salt);
+        if let Some((ratio, len)) = m.scans {
+            builder = builder.scans(ratio, len);
+        }
+        let ops = builder.build();
+        match run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH) {
+            Ok(report) => {
+                let note = (shrink < 1.0).then(|| {
+                    format!(
+                        "note: {} on {} ran at {:.0}% keyspace (device-full at target fill)",
+                        point.kind,
+                        spec.name,
+                        shrink * 100.0
+                    )
+                });
+                let meta = dev.metadata();
+                let waf = waf_of(&report, &meta, spec, &cfg);
+                let summary = Summary {
+                    workload: spec.name,
+                    system: point.kind,
+                    report,
+                    meta,
+                };
+                return (summary, waf, note);
+            }
+            Err(_) => continue,
+        }
+    }
+    panic!(
+        "{} could not complete {} even at half keyspace",
+        point.kind, spec.name
+    );
+}
+
+fn execute_warm_up(
+    ctx: &ExpCtx,
+    point: &Point,
+    cfg: Option<DeviceConfig>,
+) -> (Summary, f64, Option<String>) {
+    let spec = point.spec;
+    let cfg = cfg.unwrap_or_else(|| ctx.scale.device(point.kind, spec));
+    let mut dev = cfg.build_engine();
+    let keyspace = ctx.scale.keyspace(spec);
+    warm_up(dev.as_mut(), spec, keyspace, ctx.scale.seed).expect("warm-up-only point failed");
+    let mut report = empty_report(dev.horizon());
+    report.counters = dev.counters();
+    let meta = dev.metadata();
+    let waf = waf_of(&report, &meta, spec, &cfg);
+    let summary = Summary {
+        workload: spec.name,
+        system: point.kind,
+        report,
+        meta,
+    };
+    (summary, waf, None)
+}
+
+fn execute_fill(ctx: &ExpCtx, point: &Point) -> (Summary, f64, Option<String>) {
+    let spec = point.spec;
+    let cfg = ctx.scale.device(point.kind, spec);
+    let mut dev = cfg.build_engine();
+    let huge = 4 * ctx.scale.capacity / spec.pair_bytes();
+    for op in fill_ops(spec, huge, ctx.scale.seed) {
+        let at = dev.horizon();
+        match dev.execute(&op, at) {
+            Ok(_) => {}
+            Err(KvError::DeviceFull) => break,
+            Err(e) => panic!("unexpected error during fill: {e}"),
+        }
+    }
+    let mut report = empty_report(dev.horizon());
+    report.counters = dev.counters();
+    let meta = dev.metadata();
+    let waf = waf_of(&report, &meta, spec, &cfg);
+    let summary = Summary {
+        workload: spec.name,
+        system: point.kind,
+        report,
+        meta,
+    };
+    (summary, waf, None)
+}
+
+/// Assembles the machine-readable run summary from a scheduled sweep.
+/// Point order (and therefore JSON order) is the declaration order.
+pub fn build_summary(ctx: &ExpCtx, points: &[Point], run: &SchedulerRun) -> RunSummary {
+    use anykey_flash::OpCause;
+    let points = points
+        .iter()
+        .zip(&run.results)
+        .map(|(p, r)| {
+            let rep = &r.summary.report;
+            let c = &rep.counters;
+            PointSummary {
+                key: p.key.clone(),
+                experiment: p.experiment.to_string(),
+                workload: p.spec.name.to_string(),
+                system: p.kind.label().to_string(),
+                ops: rep.ops,
+                read_ops: rep.reads.count(),
+                write_ops: rep.writes.count(),
+                scan_ops: rep.scans.count(),
+                virtual_ns: rep.end.saturating_sub(rep.start),
+                iops: if rep.ops > 0 { rep.iops() } else { 0.0 },
+                p50_read_ns: rep.reads.quantile(0.50),
+                p99_read_ns: rep.reads.quantile(0.99),
+                p50_write_ns: rep.writes.quantile(0.50),
+                p99_write_ns: rep.writes.quantile(0.99),
+                waf: r.waf,
+                host_reads: c.reads(OpCause::HostRead),
+                host_writes: c.writes(OpCause::HostWrite),
+                meta_reads: c.reads(OpCause::MetaRead),
+                meta_writes: c.writes(OpCause::MetaWrite),
+                comp_reads: c.reads(OpCause::CompactionRead),
+                comp_writes: c.writes(OpCause::CompactionWrite),
+                gc_reads: c.reads(OpCause::GcRead),
+                gc_writes: c.writes(OpCause::GcWrite),
+                log_reads: c.reads(OpCause::LogRead),
+                log_writes: c.writes(OpCause::LogWrite),
+                erases: c.erases(),
+                retry_reads: c.total_retry_reads(),
+                wall_secs: r.wall_secs,
+            }
+        })
+        .collect();
+    RunSummary {
+        schema_version: SCHEMA_VERSION,
+        capacity_bytes: ctx.scale.capacity,
+        seed: ctx.scale.seed,
+        total_wall_secs: run.wall_secs,
+        points,
+    }
+}

@@ -20,8 +20,12 @@
 pub mod hist;
 /// Run-report assembly and rendering.
 pub mod report;
+/// Machine-readable `summary.json` schema, parser, and tolerance diff.
+pub mod summary;
 
 /// Log-bucketed latency histogram with exact quantile queries.
 pub use hist::LatencyHist;
 /// Report renderers (CSV and aligned-table output).
 pub use report::{Csv, Table};
+/// The `summary.json` schema and diff entry points.
+pub use summary::{diff, parse, PointSummary, RunSummary};

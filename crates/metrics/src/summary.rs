@@ -1,0 +1,731 @@
+//! Machine-readable run summaries (`summary.json`) and the
+//! tolerance-band comparison behind `xtask bench-diff`.
+//!
+//! Every benchmark run emits one [`RunSummary`]: a stable, line-oriented
+//! JSON document with one entry per experiment [`PointSummary`] (the
+//! scheduler's unit of work). The schema is deliberately flat — every
+//! metric is a top-level field of its point — so the diff logic can treat
+//! a point as a list of `(metric, raw-token)` pairs and compare *raw
+//! serialized tokens* for the deterministic metrics. That sidesteps any
+//! float round-trip concern: two runs of the same simulation produce the
+//! same bits, hence the same serialized token.
+//!
+//! Two metric classes exist:
+//!
+//! - **Exact** (everything except wall time): products of the
+//!   discrete-virtual-time simulation. Any difference is a real behaviour
+//!   change and fails the diff.
+//! - **Wall time** (`wall_secs`, `total_wall_secs`): host-machine
+//!   measurements. Compared with a multiplicative band (candidate may not
+//!   exceed `baseline × band`); getting *faster* never fails.
+//!
+//! Everything here is dependency-free: the writer and the recursive-descent
+//! parser are small enough that pulling in a JSON crate would cost more
+//! than it saves (and the workspace is hermetic — no registry access).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Version stamp of the `summary.json` schema. Bump on any field change so
+/// `bench-diff` can refuse to compare incompatible documents.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default multiplicative tolerance for wall-time metrics: the candidate
+/// may take up to 5× the baseline's wall seconds before the diff fails.
+/// Deliberately loose — CI runners and developer machines differ widely,
+/// and the deterministic metrics are the real gate.
+pub const DEFAULT_WALL_BAND: f64 = 5.0;
+
+/// Field names whose values are host wall-time measurements and therefore
+/// compared with a band instead of exactly.
+pub const WALL_FIELDS: [&str; 2] = ["wall_secs", "total_wall_secs"];
+
+/// Absolute floor (seconds) of the wall-time tolerance: a candidate below
+/// this never fails, whatever the baseline. Sub-second points inflate
+/// several-fold from scheduling noise alone (e.g. `--jobs 4` on one core),
+/// which says nothing about the simulation.
+pub const WALL_FLOOR_SECS: f64 = 1.0;
+
+/// One scheduled experiment point's metrics, as written to `summary.json`.
+///
+/// All latency metrics are virtual nanoseconds; `wall_secs` is the only
+/// host-clock field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Unique row key within the run (`experiment/workload/system[/variant]`).
+    pub key: String,
+    /// Experiment id (`fig10`, `table3`, ...).
+    pub experiment: String,
+    /// Workload name.
+    pub workload: String,
+    /// System under test (display label, e.g. `AnyKey+`).
+    pub system: String,
+    /// Operations executed in the measured phase (0 for warm-up/fill
+    /// points).
+    pub ops: u64,
+    /// Measured GET operations.
+    pub read_ops: u64,
+    /// Measured PUT/DELETE operations.
+    pub write_ops: u64,
+    /// Measured SCAN operations.
+    pub scan_ops: u64,
+    /// Virtual-time span of the point (end − start of the measured phase,
+    /// or the device horizon for warm-up/fill points).
+    pub virtual_ns: u64,
+    /// Operations per virtual second over the measured phase.
+    pub iops: f64,
+    /// Median GET latency (virtual ns).
+    pub p50_read_ns: u64,
+    /// 99th-percentile GET latency (virtual ns).
+    pub p99_read_ns: u64,
+    /// Median PUT/DELETE latency (virtual ns).
+    pub p50_write_ns: u64,
+    /// 99th-percentile PUT/DELETE latency (virtual ns).
+    pub p99_write_ns: u64,
+    /// Write amplification: flash page programs ÷ minimal pages for the
+    /// host bytes written (see the bench scheduler for the denominator).
+    pub waf: f64,
+    /// Flash page reads servicing host GETs/SCANs.
+    pub host_reads: u64,
+    /// Flash page programs of host data outside compaction.
+    pub host_writes: u64,
+    /// Flash reads of flash-resident metadata on the GET path.
+    pub meta_reads: u64,
+    /// Flash programs of flash-resident metadata.
+    pub meta_writes: u64,
+    /// Flash reads issued by compaction.
+    pub comp_reads: u64,
+    /// Flash programs issued by compaction.
+    pub comp_writes: u64,
+    /// Flash reads issued by garbage collection.
+    pub gc_reads: u64,
+    /// Flash programs issued by garbage collection.
+    pub gc_writes: u64,
+    /// Value-log page reads.
+    pub log_reads: u64,
+    /// Value-log page programs.
+    pub log_writes: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Media read-retry steps (nonzero only under fault injection).
+    pub retry_reads: u64,
+    /// Host wall-clock seconds the point took to simulate (band-compared).
+    pub wall_secs: f64,
+}
+
+/// A whole benchmark run's summary: scale identity plus one
+/// [`PointSummary`] per scheduled point, in deterministic point order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Device capacity in bytes the run was scaled to.
+    pub capacity_bytes: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Host wall-clock seconds for the whole sweep (band-compared).
+    pub total_wall_secs: f64,
+    /// Per-point metrics, in scheduler point order.
+    pub points: Vec<PointSummary>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RunSummary {
+    /// Renders the summary as stable, human-diffable JSON: one point per
+    /// block, fixed field order, fixed float precision.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"capacity_bytes\": {},", self.capacity_bytes);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"total_wall_secs\": {:.6},", self.total_wall_secs);
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"key\": \"{}\",", esc(&p.key));
+            let _ = writeln!(s, "      \"experiment\": \"{}\",", esc(&p.experiment));
+            let _ = writeln!(s, "      \"workload\": \"{}\",", esc(&p.workload));
+            let _ = writeln!(s, "      \"system\": \"{}\",", esc(&p.system));
+            let _ = writeln!(s, "      \"ops\": {},", p.ops);
+            let _ = writeln!(s, "      \"read_ops\": {},", p.read_ops);
+            let _ = writeln!(s, "      \"write_ops\": {},", p.write_ops);
+            let _ = writeln!(s, "      \"scan_ops\": {},", p.scan_ops);
+            let _ = writeln!(s, "      \"virtual_ns\": {},", p.virtual_ns);
+            let _ = writeln!(s, "      \"iops\": {:.6},", p.iops);
+            let _ = writeln!(s, "      \"p50_read_ns\": {},", p.p50_read_ns);
+            let _ = writeln!(s, "      \"p99_read_ns\": {},", p.p99_read_ns);
+            let _ = writeln!(s, "      \"p50_write_ns\": {},", p.p50_write_ns);
+            let _ = writeln!(s, "      \"p99_write_ns\": {},", p.p99_write_ns);
+            let _ = writeln!(s, "      \"waf\": {:.6},", p.waf);
+            let _ = writeln!(s, "      \"host_reads\": {},", p.host_reads);
+            let _ = writeln!(s, "      \"host_writes\": {},", p.host_writes);
+            let _ = writeln!(s, "      \"meta_reads\": {},", p.meta_reads);
+            let _ = writeln!(s, "      \"meta_writes\": {},", p.meta_writes);
+            let _ = writeln!(s, "      \"comp_reads\": {},", p.comp_reads);
+            let _ = writeln!(s, "      \"comp_writes\": {},", p.comp_writes);
+            let _ = writeln!(s, "      \"gc_reads\": {},", p.gc_reads);
+            let _ = writeln!(s, "      \"gc_writes\": {},", p.gc_writes);
+            let _ = writeln!(s, "      \"log_reads\": {},", p.log_reads);
+            let _ = writeln!(s, "      \"log_writes\": {},", p.log_writes);
+            let _ = writeln!(s, "      \"erases\": {},", p.erases);
+            let _ = writeln!(s, "      \"retry_reads\": {},", p.retry_reads);
+            let _ = writeln!(s, "      \"wall_secs\": {:.6}", p.wall_secs);
+            s.push_str(if i + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: a minimal recursive-descent JSON reader that keeps every scalar
+// as its *raw token* (so exact comparison is token equality, with no float
+// round-trip in between).
+// ---------------------------------------------------------------------------
+
+/// A summary document as parsed back from disk: field names mapped to raw
+/// serialized tokens, plus the per-point field lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSummary {
+    /// Top-level scalar fields (`schema_version`, `seed`, ...), in document
+    /// order, as `(name, raw token)`.
+    pub fields: Vec<(String, String)>,
+    /// Per-point field lists, in document order.
+    pub points: Vec<ParsedPoint>,
+}
+
+/// One parsed point: its key plus all scalar fields as raw tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedPoint {
+    /// The point's unique `key` field (unescaped).
+    pub key: String,
+    /// All scalar fields, in document order, as `(name, raw token)`.
+    pub fields: Vec<(String, String)>,
+}
+
+impl ParsedSummary {
+    /// Looks up a top-level field's raw token.
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl ParsedPoint {
+    /// Looks up a point field's raw token.
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A summary parse failure, with a byte offset for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser expected or found.
+    pub msg: String,
+    /// Byte offset into the document.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "summary parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.to_string(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.src.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self.src.get(self.pos + 1..self.pos + 5);
+                            let code = hex
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match code {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Multibyte UTF-8 passes through byte by byte; the
+                    // source is a &str upstream so it is valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.src[self.pos..self.pos + utf8_len(c)]).map_err(
+                            |_| ParseError {
+                                msg: "invalid utf-8".into(),
+                                at: self.pos,
+                            },
+                        )?,
+                    );
+                    self.pos += utf8_len(c);
+                }
+            }
+        }
+    }
+
+    /// A scalar (number / string / bool / null) as its raw token text.
+    /// Strings are returned unescaped-and-requoted so token comparison is
+    /// content comparison.
+    fn scalar(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(format!("\"{}\"", esc(&self.string()?))),
+            Some(c) if c == b'-' || c.is_ascii_digit() || c == b't' || c == b'f' || c == b'n' => {
+                let start = self.pos;
+                while self.src.get(self.pos).is_some_and(|&b| {
+                    b.is_ascii_alphanumeric() || b == b'-' || b == b'+' || b == b'.'
+                }) {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return self.err("empty scalar");
+                }
+                Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            _ => self.err("expected scalar"),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Parses a `summary.json` document produced by [`RunSummary::to_json`]
+/// (or a hand-edited equivalent: field order is free, unknown fields are
+/// kept and compared like any other).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed JSON or a document whose shape is
+/// not `{scalars..., "points": [{scalars...}...]}`.
+pub fn parse(src: &str) -> Result<ParsedSummary, ParseError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut out = ParsedSummary {
+        fields: Vec::new(),
+        points: Vec::new(),
+    };
+    p.eat(b'{')?;
+    loop {
+        if p.peek() == Some(b'}') {
+            break;
+        }
+        let name = p.string()?;
+        p.eat(b':')?;
+        if name == "points" {
+            p.eat(b'[')?;
+            loop {
+                if p.peek() == Some(b']') {
+                    p.pos += 1;
+                    break;
+                }
+                p.eat(b'{')?;
+                let mut point = ParsedPoint {
+                    key: String::new(),
+                    fields: Vec::new(),
+                };
+                loop {
+                    if p.peek() == Some(b'}') {
+                        p.pos += 1;
+                        break;
+                    }
+                    let fname = p.string()?;
+                    p.eat(b':')?;
+                    let raw = if fname == "key" && p.peek() == Some(b'"') {
+                        let s = p.string()?;
+                        let raw = format!("\"{}\"", esc(&s));
+                        point.key = s;
+                        raw
+                    } else {
+                        p.scalar()?
+                    };
+                    point.fields.push((fname, raw));
+                    if p.peek() == Some(b',') {
+                        p.pos += 1;
+                    }
+                }
+                out.points.push(point);
+                if p.peek() == Some(b',') {
+                    p.pos += 1;
+                }
+            }
+        } else {
+            out.fields.push((name, p.scalar()?));
+        }
+        if p.peek() == Some(b',') {
+            p.pos += 1;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+/// How a single compared metric fared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Point key (empty for top-level fields).
+    pub key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline raw token (empty when missing).
+    pub baseline: String,
+    /// Candidate raw token (empty when missing).
+    pub candidate: String,
+    /// Whether this row is within tolerance.
+    pub ok: bool,
+    /// Whether a band (wall-time) comparison was used instead of exact.
+    pub banded: bool,
+}
+
+/// The outcome of comparing two summaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    /// Every failed comparison (passing rows are not recorded to keep the
+    /// report proportional to the damage).
+    pub failures: Vec<DiffRow>,
+    /// Point keys present in the baseline but not the candidate.
+    pub missing: Vec<String>,
+    /// Point keys present in the candidate but not the baseline.
+    pub extra: Vec<String>,
+    /// Metrics compared in total (both exact and banded).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the candidate is free of regressions.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty() && self.missing.is_empty() && self.extra.is_empty()
+    }
+}
+
+fn band_ok(base: &str, cand: &str, band: f64) -> bool {
+    match (base.parse::<f64>(), cand.parse::<f64>()) {
+        (Ok(b), Ok(c)) => c <= (b * band).max(WALL_FLOOR_SECS),
+        _ => false,
+    }
+}
+
+/// Compares `candidate` against `baseline`.
+///
+/// Exact metrics (everything but [`WALL_FIELDS`]) must match token for
+/// token; wall-time metrics pass while `candidate ≤ baseline × wall_band`
+/// (with a small absolute floor so near-zero baselines do not flap).
+/// Points are matched by `key`; missing or extra points fail the diff.
+pub fn diff(baseline: &ParsedSummary, candidate: &ParsedSummary, wall_band: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    let mut check = |key: &str, metric: &str, base: Option<&str>, cand: Option<&str>| {
+        let banded = WALL_FIELDS.contains(&metric);
+        let (base, cand) = (base.unwrap_or(""), cand.unwrap_or(""));
+        let ok = if banded {
+            band_ok(base, cand, wall_band)
+        } else {
+            !base.is_empty() && base == cand
+        };
+        report.compared += 1;
+        if !ok {
+            report.failures.push(DiffRow {
+                key: key.to_string(),
+                metric: metric.to_string(),
+                baseline: base.to_string(),
+                candidate: cand.to_string(),
+                ok,
+                banded,
+            });
+        }
+    };
+
+    for (name, base) in &baseline.fields {
+        check("", name, Some(base), candidate.field(name));
+    }
+    for bp in &baseline.points {
+        let Some(cp) = candidate.points.iter().find(|p| p.key == bp.key) else {
+            report.missing.push(bp.key.clone());
+            continue;
+        };
+        for (name, base) in &bp.fields {
+            if name == "key" {
+                continue;
+            }
+            check(&bp.key, name, Some(base), cp.field(name));
+        }
+    }
+    for cp in &candidate.points {
+        if !baseline.points.iter().any(|p| p.key == cp.key) {
+            report.extra.push(cp.key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point(key: &str, iops: f64, wall: f64) -> PointSummary {
+        PointSummary {
+            key: key.to_string(),
+            experiment: "fig10".into(),
+            workload: "ZippyDB".into(),
+            system: "AnyKey+".into(),
+            ops: 1000,
+            read_ops: 800,
+            write_ops: 200,
+            scan_ops: 0,
+            virtual_ns: 5_000_000,
+            iops,
+            p50_read_ns: 100,
+            p99_read_ns: 900,
+            p50_write_ns: 110,
+            p99_write_ns: 950,
+            waf: 2.5,
+            host_reads: 10,
+            host_writes: 2,
+            meta_reads: 3,
+            meta_writes: 4,
+            comp_reads: 5,
+            comp_writes: 6,
+            gc_reads: 0,
+            gc_writes: 0,
+            log_reads: 7,
+            log_writes: 8,
+            erases: 9,
+            retry_reads: 0,
+            wall_secs: wall,
+        }
+    }
+
+    fn sample(iops: f64, wall: f64) -> RunSummary {
+        RunSummary {
+            schema_version: SCHEMA_VERSION,
+            capacity_bytes: 64 << 20,
+            seed: 42,
+            total_wall_secs: wall * 2.0,
+            points: vec![
+                sample_point("fig10/ZippyDB/AnyKey+", iops, wall),
+                sample_point("fig10/ZippyDB/PinK", iops / 3.0, wall),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fields() {
+        let s = sample(123456.789, 1.5);
+        let parsed = parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.field("schema_version"), Some("1"));
+        assert_eq!(parsed.field("seed"), Some("42"));
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[0].key, "fig10/ZippyDB/AnyKey+");
+        assert_eq!(parsed.points[0].field("iops"), Some("123456.789000"));
+        assert_eq!(parsed.points[0].field("erases"), Some("9"));
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let s = sample(1000.0, 1.0);
+        let a = parse(&s.to_json()).unwrap();
+        let b = parse(&s.to_json()).unwrap();
+        let d = diff(&a, &b, DEFAULT_WALL_BAND);
+        assert!(d.pass(), "unexpected failures: {:?}", d.failures);
+        assert!(d.compared > 50);
+    }
+
+    #[test]
+    fn exact_metric_mismatch_fails() {
+        let base = sample(1000.0, 1.0);
+        let mut cand = sample(1000.0, 1.0);
+        cand.points[1].erases += 1;
+        let d = diff(
+            &parse(&base.to_json()).unwrap(),
+            &parse(&cand.to_json()).unwrap(),
+            DEFAULT_WALL_BAND,
+        );
+        assert!(!d.pass());
+        assert_eq!(d.failures.len(), 1);
+        assert_eq!(d.failures[0].metric, "erases");
+        assert_eq!(d.failures[0].key, "fig10/ZippyDB/PinK");
+        assert!(!d.failures[0].banded);
+    }
+
+    #[test]
+    fn wall_time_within_band_passes() {
+        let base = sample(1000.0, 1.0);
+        let mut cand = sample(1000.0, 1.0);
+        // 3× slower: inside the default 5× band. Also exercise "faster
+        // never fails".
+        cand.points[0].wall_secs = 3.0;
+        cand.points[1].wall_secs = 0.01;
+        cand.total_wall_secs = 3.01;
+        let d = diff(
+            &parse(&base.to_json()).unwrap(),
+            &parse(&cand.to_json()).unwrap(),
+            DEFAULT_WALL_BAND,
+        );
+        assert!(d.pass(), "unexpected failures: {:?}", d.failures);
+    }
+
+    #[test]
+    fn wall_time_band_exceeded_fails() {
+        let base = sample(1000.0, 1.0);
+        let mut cand = sample(1000.0, 1.0);
+        cand.points[0].wall_secs = 6.0; // > 5× baseline
+        let d = diff(
+            &parse(&base.to_json()).unwrap(),
+            &parse(&cand.to_json()).unwrap(),
+            DEFAULT_WALL_BAND,
+        );
+        assert!(!d.pass());
+        assert_eq!(d.failures.len(), 1);
+        assert!(d.failures[0].banded);
+        assert_eq!(d.failures[0].metric, "wall_secs");
+    }
+
+    #[test]
+    fn missing_and_extra_points_fail() {
+        let base = sample(1000.0, 1.0);
+        let mut cand = sample(1000.0, 1.0);
+        cand.points[1].key = "fig10/ZippyDB/AnyKey".into();
+        let d = diff(
+            &parse(&base.to_json()).unwrap(),
+            &parse(&cand.to_json()).unwrap(),
+            DEFAULT_WALL_BAND,
+        );
+        assert!(!d.pass());
+        assert_eq!(d.missing, vec!["fig10/ZippyDB/PinK".to_string()]);
+        assert_eq!(d.extra, vec!["fig10/ZippyDB/AnyKey".to_string()]);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut s = sample(1.0, 1.0);
+        s.points[0].key = "odd \"key\"\nwith\\stuff".into();
+        s.points[0].workload = "w,1".into();
+        let parsed = parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.points[0].key, "odd \"key\"\nwith\\stuff");
+    }
+
+    #[test]
+    fn near_zero_wall_baseline_does_not_flap() {
+        let mut base = sample(1.0, 0.0);
+        base.total_wall_secs = 0.0;
+        let mut cand = sample(1.0, 0.0);
+        cand.total_wall_secs = 0.0005;
+        cand.points[0].wall_secs = 0.0009;
+        let d = diff(
+            &parse(&base.to_json()).unwrap(),
+            &parse(&cand.to_json()).unwrap(),
+            DEFAULT_WALL_BAND,
+        );
+        assert!(d.pass(), "unexpected failures: {:?}", d.failures);
+    }
+}

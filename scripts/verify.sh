@@ -17,8 +17,15 @@ cargo test -q --workspace
 echo "==> fault-injection determinism suite"
 cargo test -q --test fault_determinism
 
-echo "==> fault bench smoke (tiny device)"
-cargo run -q --release -p anykey-bench -- fault --quick --out target/verify-results
+echo "==> scheduler determinism suite"
+cargo test -q --test scheduler_determinism
+
+echo "==> bench smoke: fault sweep at --jobs 1 and --jobs 2 must agree"
+cargo run -q --release -p anykey-bench -- fault --quick --jobs 1 --out target/verify-results/j1
+cargo run -q --release -p anykey-bench -- fault --quick --jobs 2 --out target/verify-results/j2
+cmp target/verify-results/j1/fault.csv target/verify-results/j2/fault.csv
+cargo run -q --release -p xtask -- bench-diff \
+    target/verify-results/j1/summary.json target/verify-results/j2/summary.json
 
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint

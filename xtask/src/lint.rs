@@ -10,8 +10,10 @@
 //!   address/geometry/allocator arithmetic — checked conversion helpers
 //!   (`From`/`TryFrom`) are required so narrowing bugs cannot hide.
 //! - **no-wall-clock** (`rule c`): no `std::time` (`Instant`, `SystemTime`)
-//!   anywhere in the simulation crates or integration tests; the simulation
-//!   runs on virtual nanoseconds only.
+//!   anywhere in the simulation crates, the bench harness, or integration
+//!   tests; the simulation runs on virtual nanoseconds only. The sole
+//!   allowlisted files are the bench scheduler (which owns all wall-time
+//!   capture for `summary.json`) and the self-contained `micro` bench.
 //! - **doc-public** (`rule d`): every `pub` item in crate sources carries a
 //!   doc comment (or an explicit `#[doc...]` attribute).
 //! - **deps-hermetic** (`rule e`, also `lint --deps`): no external (registry)
@@ -305,6 +307,14 @@ struct Scope {
     doc_public: bool,
 }
 
+/// The only files allowed to touch `std::time`: wall-clock capture is
+/// confined to the bench scheduler (which stamps `wall_secs` into
+/// `summary.json`) and the self-contained `micro` bench harness.
+const WALL_CLOCK_ALLOWLIST: [&str; 2] = [
+    "crates/bench/src/scheduler.rs",
+    "crates/bench/benches/micro.rs",
+];
+
 fn scope_for(rel: &str) -> Scope {
     // A `tests.rs` module file is pulled in via `#[cfg(test)] mod tests;`
     // in its parent: the cfg marker lives in the parent file, so treat the
@@ -317,6 +327,7 @@ fn scope_for(rel: &str) -> Scope {
         "crates/flash/",
         "crates/workload/",
         "crates/metrics/",
+        "crates/bench/",
     ]
     .iter()
     .any(|p| rel.starts_with(p));
@@ -328,7 +339,8 @@ fn scope_for(rel: &str) -> Scope {
     Scope {
         no_panic: in_core_or_flash,
         no_bare_cast: cast_files.contains(&rel),
-        no_wall_clock: sim_crate || rel.starts_with("tests/"),
+        no_wall_clock: (sim_crate || rel.starts_with("tests/"))
+            && !WALL_CLOCK_ALLOWLIST.contains(&rel),
         doc_public: !whole_file_test && rel.starts_with("crates/") && rel.contains("/src/"),
     }
 }
@@ -698,9 +710,25 @@ mod tests {
     }
 
     #[test]
-    fn allows_std_time_in_bench_harness() {
+    fn flags_std_time_in_bench_harness() {
+        // Wall-clock capture must stay confined to the scheduler so CSVs
+        // cannot pick up host-timing nondeterminism.
         let src = "use std::time::Instant;\n";
-        assert!(lint_source("crates/bench/src/main.rs", src).is_empty());
+        let vs = lint_source("crates/bench/src/main.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::NoWallClock]);
+    }
+
+    #[test]
+    fn allows_std_time_in_wall_clock_allowlist() {
+        let src = "use std::time::Instant;\n";
+        for rel in WALL_CLOCK_ALLOWLIST {
+            assert!(
+                lint_source(rel, src)
+                    .iter()
+                    .all(|v| v.rule != Rule::NoWallClock),
+                "{rel} should be allowlisted"
+            );
+        }
     }
 
     // --- rule d: doc-public ----------------------------------------------

@@ -1,12 +1,30 @@
-//! `cargo run -p xtask -- lint [--deps]` — repo-specific static checks.
+//! `cargo run -p xtask -- <lint|bench-diff> ...` — repo-specific tooling.
 //!
-//! See the [`lint`] module for the rule set: panic-freedom of the engine
-//! crates, checked casts in flash address arithmetic, virtual-clock
-//! discipline, public-item documentation, and the dependency hermeticity
-//! guard.
+//! - [`lint`]: static checks clippy cannot express (panic-freedom of the
+//!   engine crates, checked casts in flash address arithmetic,
+//!   virtual-clock discipline, public-item documentation, dependency
+//!   hermeticity).
+//! - [`bench_diff`]: the CI perf-regression gate comparing two
+//!   `summary.json` documents from `anykey-bench` with per-metric
+//!   tolerance bands.
 
+mod bench_diff;
 mod lint;
 
 fn main() {
-    std::process::exit(lint::run_cli());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => lint::run_cli(),
+        Some("bench-diff") => bench_diff::run_cli(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- <command>\n\
+                 commands:\n\
+                   lint [--deps]                         repo-specific static checks\n\
+                   bench-diff <baseline> <candidate>     summary.json regression gate"
+            );
+            2
+        }
+    };
+    std::process::exit(code)
 }
