@@ -129,12 +129,18 @@ pub struct Summary {
 pub struct ExpCtx {
     /// Scale knobs.
     pub scale: Scale,
+    /// Record raw trace events during measured phases (`--trace`). Pure
+    /// observation: the simulated timings are identical either way.
+    pub trace: bool,
 }
 
 impl ExpCtx {
-    /// A context at the given scale.
+    /// A context at the given scale, tracing off.
     pub fn new(scale: Scale) -> Self {
-        Self { scale }
+        Self {
+            scale,
+            trace: false,
+        }
     }
 
     /// Builds a device, warms it up with the workload's keyspace, runs the

@@ -72,8 +72,8 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
                 kind.to_string(),
                 fmt_ppm(ppm),
                 kiops(s.report.iops()),
-                lat(s.report.reads.quantile(0.99)),
-                lat(s.report.writes.quantile(0.99)),
+                lat(s.report.reads.p99()),
+                lat(s.report.writes.p99()),
                 fmt_count(s.report.media_retries()),
                 fmt_count(s.meta.program_fails),
                 fmt_count(s.meta.retired_blocks),

@@ -45,10 +45,10 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
             t.row([
                 name.to_string(),
                 kind.label().to_string(),
-                lat(s.report.reads.quantile(0.50)),
+                lat(s.report.reads.p50()),
                 lat(s.report.reads.quantile(0.90)),
-                lat(s.report.reads.quantile(0.95)),
-                lat(s.report.reads.quantile(0.99)),
+                lat(s.report.reads.p95()),
+                lat(s.report.reads.p99()),
                 lat(s.report.reads.max()),
             ]);
             ctx.dump_cdf(&mut cdf, name, kind.label(), "read", &s.report.reads);

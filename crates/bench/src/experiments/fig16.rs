@@ -63,7 +63,7 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
             let mut cells = vec![name.to_string(), kind.label().to_string()];
             for (_, _, label) in PAGES {
                 let s = &rows.next().expect("fig16 row").summary;
-                cells.push(lat(s.report.reads.quantile(0.95)));
+                cells.push(lat(s.report.reads.p95()));
                 ctx.dump_cdf(&mut cdf, name, kind.label(), label, &s.report.reads);
             }
             t.row(cells);

@@ -52,7 +52,7 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
         let mut cells = vec![kind.label().to_string()];
         for (label, _) in DISTS.clone() {
             let s = &rows.next().expect("fig17 row").summary;
-            cells.push(lat(s.report.reads.quantile(0.95)));
+            cells.push(lat(s.report.reads.p95()));
             ctx.dump_cdf(&mut cdf, "ETC", kind.label(), label, &s.report.reads);
         }
         t.row(cells);

@@ -44,7 +44,7 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
         let mut cells = vec![kind.label().to_string()];
         for len in LENGTHS {
             let s = &rows.next().expect("fig18 row").summary;
-            cells.push(lat(s.report.scans.quantile(0.95)));
+            cells.push(lat(s.report.scans.p95()));
             ctx.dump_cdf(
                 &mut cdf,
                 "UDB",

@@ -40,9 +40,9 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
         let label = format!("{}/40", v);
         t.row([
             label.clone(),
-            lat(s.report.reads.quantile(0.50)),
-            lat(s.report.reads.quantile(0.95)),
-            lat(s.report.reads.quantile(0.99)),
+            lat(s.report.reads.p50()),
+            lat(s.report.reads.p95()),
+            lat(s.report.reads.p99()),
             kiops(s.report.iops()),
         ]);
         ctx.dump_cdf(&mut cdf, "vk-sweep", "PinK", &label, &s.report.reads);

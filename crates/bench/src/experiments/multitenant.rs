@@ -72,7 +72,7 @@ pub fn render(ctx: &ExpCtx, results: &[PointResult]) {
                 .summary
                 .report
                 .reads
-                .quantile(0.95);
+                .p95();
         }
         let improvement = p95[0] as f64 / p95[1].max(1) as f64;
         t.row([

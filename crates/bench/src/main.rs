@@ -3,6 +3,7 @@
 //! ```text
 //! anykey-bench <experiment|all> [--capacity-mb N] [--fill F]
 //!              [--ops-factor F] [--out DIR] [--seed S] [--jobs N] [--quick]
+//!              [--trace PATH] [--trace-format jsonl|chrome]
 //! ```
 //!
 //! Experiments declare [`Point`](anykey_bench::Point)s; the scheduler runs
@@ -27,7 +28,10 @@ fn usage() -> ! {
            --seed S          RNG seed\n\
            --jobs N          worker threads for the point scheduler (default 1)\n\
            --bg-residual-ns N  residual fg wait after a bg suspend (default 100000)\n\
-           --quick           small/fast smoke scale",
+           --quick           small/fast smoke scale\n\
+           --trace PATH      record measured-phase trace events to PATH\n\
+           --trace-format F  trace file format: jsonl (default) or chrome\n\
+                             (Chrome trace-event JSON; open in Perfetto)",
         experiments::ids().join(" ")
     );
     std::process::exit(2)
@@ -49,6 +53,8 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::default();
     let mut jobs = 1usize;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut trace_format = "jsonl".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +106,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--trace-format" => {
+                i += 1;
+                trace_format = args
+                    .get(i)
+                    .filter(|f| matches!(f.as_str(), "jsonl" | "chrome"))
+                    .cloned()
+                    .unwrap_or_else(|| usage());
+            }
             "--quick" => scale = scale.clone().quick(),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             _ => usage(),
@@ -113,7 +131,8 @@ fn main() {
         ids = experiments::ids().iter().map(|s| s.to_string()).collect();
     }
 
-    let ctx = ExpCtx::new(scale);
+    let mut ctx = ExpCtx::new(scale);
+    ctx.trace = trace_path.is_some();
     println!(
         "# AnyKey reproduction harness — capacity {} MiB, DRAM {} KiB (0.1%), fill {:.0}%, seed {}\n",
         ctx.scale.capacity >> 20,
@@ -171,6 +190,24 @@ fn main() {
     match summary.write(&path) {
         Ok(()) => println!("  -> {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    // Trace export: each unique simulation once (its representative point),
+    // in declaration order — byte-identical for any `--jobs` value.
+    if let Some(path) = trace_path {
+        let named: Vec<(String, Vec<anykey_metrics::TraceEvent>)> = points
+            .iter()
+            .zip(&run.results)
+            .filter_map(|(p, r)| r.trace.as_ref().map(|t| (p.key.clone(), t.clone())))
+            .collect();
+        let body = match trace_format.as_str() {
+            "chrome" => anykey_metrics::trace::write_chrome(&named),
+            _ => anykey_metrics::trace::write_jsonl(&named),
+        };
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("  -> {} ({trace_format} trace)", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
     println!(
         "\nscheduled {} points ({} unique simulations) on {} jobs in {:.1}s",

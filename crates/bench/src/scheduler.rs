@@ -27,8 +27,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
-use anykey_core::{run, warm_up, DeviceConfig, EngineKind, KvError, MetadataStats, RunReport};
+use anykey_core::{
+    run, run_traced, warm_up, DeviceConfig, EngineKind, KvError, MetadataStats, RunReport,
+};
 use anykey_metrics::summary::{PointSummary, RunSummary, SCHEMA_VERSION};
+use anykey_metrics::trace::TraceEvent;
 use anykey_workload::{ops::fill_ops, KeyDist, OpStreamBuilder, WorkloadSpec};
 
 use crate::common::{ExpCtx, Summary};
@@ -150,6 +153,10 @@ pub struct PointResult {
     /// Deterministic harness note (e.g. a keyspace shrink), printed after
     /// collection in point order.
     pub note: Option<String>,
+    /// Recorded trace events of the measured phase (`--trace` only; `None`
+    /// when tracing was off, for non-measure points, and for deduplicated
+    /// repeats of the same simulation).
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// A completed scheduled sweep.
@@ -216,14 +223,23 @@ pub fn run_points(ctx: &ExpCtx, points: &[Point], jobs: usize) -> SchedulerRun {
         }
     });
 
+    // Fan results back out to every requesting point; only the first
+    // (representative) point of each slot keeps the trace events, so a
+    // trace file lists each unique simulation exactly once, in declaration
+    // order, independent of `--jobs`.
+    let mut first = vec![true; unique.len()];
     let results = assign
         .iter()
         .map(|&slot| {
-            slots[slot]
+            let mut r = slots[slot]
                 .lock()
                 .expect("scheduler slot poisoned")
                 .clone()
-                .expect("scheduler slot not filled")
+                .expect("scheduler slot not filled");
+            if !std::mem::replace(&mut first[slot], false) {
+                r.trace = None;
+            }
+            r
         })
         .collect();
 
@@ -238,7 +254,7 @@ pub fn run_points(ctx: &ExpCtx, points: &[Point], jobs: usize) -> SchedulerRun {
 /// Executes one point's simulation (on the calling thread) and times it.
 pub fn execute_point(ctx: &ExpCtx, point: &Point) -> PointResult {
     let t0 = Instant::now();
-    let (summary, waf, note) = match &point.run {
+    let (summary, waf, note, trace) = match &point.run {
         RunKind::Measure(m) => execute_measure(ctx, point, m),
         RunKind::WarmUpOnly { cfg } => execute_warm_up(ctx, point, cfg.clone()),
         RunKind::FillUntilFull => execute_fill(ctx, point),
@@ -248,6 +264,7 @@ pub fn execute_point(ctx: &ExpCtx, point: &Point) -> PointResult {
         waf,
         wall_secs: t0.elapsed().as_secs_f64(),
         note,
+        trace,
     }
 }
 
@@ -265,6 +282,7 @@ fn empty_report(at: u64) -> RunReport {
         end: at,
         counters: anykey_flash::FlashCounters::new(),
         reads_per_get: [0; anykey_core::runner::MAX_TRACKED_READS + 1],
+        phases: anykey_metrics::trace::PhaseHists::new(),
     }
 }
 
@@ -285,7 +303,9 @@ fn waf_of(report: &RunReport, meta: &MetadataStats, spec: WorkloadSpec, cfg: &De
     report.counters.total_writes() as f64 / denom as f64
 }
 
-fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> (Summary, f64, Option<String>) {
+type Executed = (Summary, f64, Option<String>, Option<Vec<TraceEvent>>);
+
+fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> Executed {
     let spec = point.spec;
     let cfg = m
         .cfg
@@ -311,8 +331,16 @@ fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> (Summary, f6
             builder = builder.scans(ratio, len);
         }
         let ops = builder.build();
-        match run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH) {
-            Ok(report) => {
+        // Tracing is pure observation (virtual time is untouched), so the
+        // report is identical either way; only event recording differs.
+        let outcome = if ctx.trace {
+            run_traced(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH)
+                .map(|(report, events)| (report, Some(events)))
+        } else {
+            run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH).map(|report| (report, None))
+        };
+        match outcome {
+            Ok((report, trace)) => {
                 let note = (shrink < 1.0).then(|| {
                     format!(
                         "note: {} on {} ran at {:.0}% keyspace (device-full at target fill)",
@@ -329,7 +357,7 @@ fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> (Summary, f6
                     report,
                     meta,
                 };
-                return (summary, waf, note);
+                return (summary, waf, note, trace);
             }
             Err(_) => continue,
         }
@@ -340,11 +368,7 @@ fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> (Summary, f6
     );
 }
 
-fn execute_warm_up(
-    ctx: &ExpCtx,
-    point: &Point,
-    cfg: Option<DeviceConfig>,
-) -> (Summary, f64, Option<String>) {
+fn execute_warm_up(ctx: &ExpCtx, point: &Point, cfg: Option<DeviceConfig>) -> Executed {
     let spec = point.spec;
     let cfg = cfg.unwrap_or_else(|| ctx.scale.device(point.kind, spec));
     let mut dev = cfg.build_engine();
@@ -360,10 +384,10 @@ fn execute_warm_up(
         report,
         meta,
     };
-    (summary, waf, None)
+    (summary, waf, None, None)
 }
 
-fn execute_fill(ctx: &ExpCtx, point: &Point) -> (Summary, f64, Option<String>) {
+fn execute_fill(ctx: &ExpCtx, point: &Point) -> Executed {
     let spec = point.spec;
     let cfg = ctx.scale.device(point.kind, spec);
     let mut dev = cfg.build_engine();
@@ -386,7 +410,7 @@ fn execute_fill(ctx: &ExpCtx, point: &Point) -> (Summary, f64, Option<String>) {
         report,
         meta,
     };
-    (summary, waf, None)
+    (summary, waf, None, None)
 }
 
 /// Assembles the machine-readable run summary from a scheduled sweep.
@@ -410,10 +434,10 @@ pub fn build_summary(ctx: &ExpCtx, points: &[Point], run: &SchedulerRun) -> RunS
                 scan_ops: rep.scans.count(),
                 virtual_ns: rep.end.saturating_sub(rep.start),
                 iops: if rep.ops > 0 { rep.iops() } else { 0.0 },
-                p50_read_ns: rep.reads.quantile(0.50),
-                p99_read_ns: rep.reads.quantile(0.99),
-                p50_write_ns: rep.writes.quantile(0.50),
-                p99_write_ns: rep.writes.quantile(0.99),
+                p50_read_ns: rep.reads.p50(),
+                p99_read_ns: rep.reads.p99(),
+                p50_write_ns: rep.writes.p50(),
+                p99_write_ns: rep.writes.p99(),
                 waf: r.waf,
                 host_reads: c.reads(OpCause::HostRead),
                 host_writes: c.writes(OpCause::HostWrite),
@@ -427,6 +451,16 @@ pub fn build_summary(ctx: &ExpCtx, points: &[Point], run: &SchedulerRun) -> RunS
                 log_writes: c.writes(OpCause::LogWrite),
                 erases: c.erases(),
                 retry_reads: c.total_retry_reads(),
+                phase_queue_ns: rep.phases.queue_wait.total(),
+                phase_meta_ns: rep.phases.meta_read.total(),
+                phase_data_ns: rep.phases.data_read.total(),
+                phase_log_ns: rep.phases.log_read.total(),
+                phase_engine_ns: rep.phases.engine.total(),
+                phase_queue_p99_ns: rep.phases.queue_wait.p99(),
+                phase_meta_p99_ns: rep.phases.meta_read.p99(),
+                phase_data_p99_ns: rep.phases.data_read.p99(),
+                phase_log_p99_ns: rep.phases.log_read.p99(),
+                phase_engine_p99_ns: rep.phases.engine.p99(),
                 wall_secs: r.wall_secs,
             }
         })

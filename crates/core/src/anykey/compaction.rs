@@ -39,6 +39,8 @@ impl AnyKeyStore {
         if self.buffer.is_empty() {
             return Ok(at);
         }
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         let mut t = self.gc_if_needed(at)?;
 
         // Secure log space for the incoming values (log-triggered
@@ -87,6 +89,8 @@ impl AnyKeyStore {
         // the background queues), but the buffer is available again once
         // the L0->L1 merge lands.
         self.maintain(t_ack)?;
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "flush", "buffer", 0, at, t_ack);
         #[cfg(any(test, feature = "strict-invariants"))]
         self.verify_invariants()?;
         Ok(t_ack)
@@ -270,6 +274,8 @@ impl AnyKeyStore {
     /// target is the deepest level: untouched groups (the vast majority in
     /// steady state) are not rewritten.
     pub(crate) fn inline_rewrite_level(&mut self, li: usize, at: Ns) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         // Pass 1: collect pages to read.
         let mut read_ppas: Vec<Ppa> = Vec::new();
         for g in &self.levels[li].groups {
@@ -343,6 +349,8 @@ impl AnyKeyStore {
         self.rebalance_dram();
         let done = t_write.max(t_erase) + count * self.cfg.cpu.sort_ns_per_entity;
         let done = done.max(self.gc_if_needed(done)?);
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "compaction", "inline-rewrite", li as u32, at, done);
         Ok(done)
     }
 
@@ -355,6 +363,14 @@ impl AnyKeyStore {
         policy: InlinePolicy,
         at: Ns,
     ) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
+        #[cfg(feature = "trace")]
+        let span_label = match policy {
+            InlinePolicy::Keep => "keep",
+            InlinePolicy::InlineAll => "inline-all",
+            InlinePolicy::InlineUntil(_) => "inline-until",
+        };
         // Source blocks are freed before the output is written, so the
         // transient headroom need is modest: room for inlined values plus
         // packing slack.
@@ -569,6 +585,8 @@ impl AnyKeyStore {
         // --- 7. CPU merge-sort cost and GC headroom. --------------------
         let done = t_write.max(t_erase) + merged_count * self.cfg.cpu.sort_ns_per_entity;
         let done = done.max(self.gc_if_needed(done)?);
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "compaction", span_label, dst as u32, at, done);
         Ok(done)
     }
 }

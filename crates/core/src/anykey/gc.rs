@@ -275,6 +275,8 @@ impl AnyKeyStore {
 
     /// Relocates every group of `victim` to fresh space and erases it.
     fn relocate_block(&mut self, victim: BlockId, at: Ns) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         // Find the groups living in the victim block.
         let mut homes: Vec<(usize, usize)> = Vec::new();
         for (li, level) in self.levels.iter().enumerate() {
@@ -303,6 +305,8 @@ impl AnyKeyStore {
         }
         debug_assert_eq!(self.area.valid_in(victim), 0);
         done = done.max(self.area.erase_empty(&mut self.flash, victim, done)?);
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "gc", "relocate", 0, at, done);
         #[cfg(any(test, feature = "strict-invariants"))]
         self.verify_invariants()?;
         Ok(done)

@@ -19,6 +19,9 @@ mod tests;
 use std::collections::HashMap;
 
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_metrics::trace::PhaseBreakdown;
+#[cfg(feature = "trace")]
+use anykey_metrics::trace::TraceEvent;
 use anykey_workload::Op;
 
 use crate::audit::AuditError;
@@ -60,6 +63,12 @@ pub struct AnyKeyStore {
     /// put that fills the buffer stalls only if the previous flush is
     /// still running).
     flush_done: Ns,
+    /// Recorded background spans (flush/compaction/GC) while tracing.
+    #[cfg(feature = "trace")]
+    spans: Vec<TraceEvent>,
+    /// Next span id (unique per tracing session).
+    #[cfg(feature = "trace")]
+    span_seq: u64,
 }
 
 impl AnyKeyStore {
@@ -105,9 +114,60 @@ impl AnyKeyStore {
             live_bytes: 0,
             level_list_overflow: false,
             flush_done: 0,
+            #[cfg(feature = "trace")]
+            spans: Vec::new(),
+            #[cfg(feature = "trace")]
+            span_seq: 0,
             flash,
             cfg,
         }
+    }
+
+    /// Snapshot of total flash page reads/writes, taken at the start of a
+    /// background span; `None` when tracing is off so span bookkeeping
+    /// costs nothing on untraced runs.
+    #[cfg(feature = "trace")]
+    pub(crate) fn span_snapshot(&self) -> Option<(u64, u64)> {
+        self.flash
+            .is_tracing()
+            .then(|| (self.counters_pages_read(), self.counters_pages_written()))
+    }
+
+    #[cfg(feature = "trace")]
+    fn counters_pages_read(&self) -> u64 {
+        self.flash.counters().total_reads()
+    }
+
+    #[cfg(feature = "trace")]
+    fn counters_pages_written(&self) -> u64 {
+        self.flash.counters().total_writes()
+    }
+
+    /// Records a completed background span against a [`Self::span_snapshot`]
+    /// taken before the work; a `None` snapshot (tracing off) is a no-op.
+    #[cfg(feature = "trace")]
+    pub(crate) fn push_span(
+        &mut self,
+        snap: Option<(u64, u64)>,
+        kind: &str,
+        label: &str,
+        level: u32,
+        start: Ns,
+        end: Ns,
+    ) {
+        let Some((r0, w0)) = snap else { return };
+        let id = self.span_seq;
+        self.span_seq += 1;
+        self.spans.push(TraceEvent::Span {
+            kind: kind.to_string(),
+            label: label.to_string(),
+            level,
+            id,
+            start,
+            end,
+            pages_read: self.counters_pages_read().saturating_sub(r0),
+            pages_written: self.counters_pages_written().saturating_sub(w0),
+        });
     }
 
     /// Whether this instance runs the AnyKey+ compaction enhancement.
@@ -195,11 +255,19 @@ impl AnyKeyStore {
             self.flush_done = self.flush(start)?;
             done = start + self.cfg.cpu.hash_ns + self.cfg.cpu.dram_op_ns;
         }
+        // CPU cost is the only attributed phase; a flush stall (done being
+        // pushed past the CPU cost) lands in queue_wait via the residual.
+        let mut phases = PhaseBreakdown {
+            engine: self.cfg.cpu.hash_ns + self.cfg.cpu.dram_op_ns,
+            ..PhaseBreakdown::default()
+        };
+        phases.finish(done - at);
         Ok(OpOutcome {
             issued_at: at,
             done_at: done,
             found: true,
             flash_reads: 0,
+            phases,
         })
     }
 
@@ -208,13 +276,21 @@ impl AnyKeyStore {
         let hash = key.hash32();
         let mut t = at + self.cfg.cpu.hash_ns;
         let mut reads = 0u32;
+        let mut phases = PhaseBreakdown {
+            engine: self.cfg.cpu.hash_ns,
+            ..PhaseBreakdown::default()
+        };
 
         if let Some(e) = self.buffer.get(&key) {
+            let done = t + self.cfg.cpu.dram_op_ns;
+            phases.engine += self.cfg.cpu.dram_op_ns;
+            phases.finish(done - at);
             return Ok(OpOutcome {
                 issued_at: at,
-                done_at: t + self.cfg.cpu.dram_op_ns,
+                done_at: done,
                 found: !e.tombstone,
                 flash_reads: 0,
+                phases,
             });
         }
 
@@ -237,7 +313,9 @@ impl AnyKeyStore {
             };
             loop {
                 let ppa = self.levels[li].groups[gi].data_ppa(p);
+                let before = t;
                 t = self.flash.read(ppa, OpCause::HostRead, t).done;
+                phases.data_read += t - before;
                 reads += 1;
                 let (found, span_ppas) = {
                     let g = &self.levels[li].groups[gi].content;
@@ -255,13 +333,17 @@ impl AnyKeyStore {
                 if let Some((tombstone, loc)) = found {
                     // Inline values may spill into following pages.
                     reads += span_ppas.len() as u32;
+                    let before = t;
                     t = self.flash.read_many(span_ppas, OpCause::HostRead, t);
+                    phases.data_read += t - before;
                     if tombstone {
+                        phases.finish(t - at);
                         return Ok(OpOutcome {
                             issued_at: at,
                             done_at: t,
                             found: false,
                             flash_reads: reads,
+                            phases,
                         });
                     }
                     let done = match loc {
@@ -271,14 +353,18 @@ impl AnyKeyStore {
                             let log = self.log.as_ref().ok_or(KvError::Internal {
                                 context: "logged value without a log",
                             })?;
-                            log.read_value(&mut self.flash, ptr, OpCause::LogRead, t)
+                            let d = log.read_value(&mut self.flash, ptr, OpCause::LogRead, t);
+                            phases.log_read += d - t;
+                            d
                         }
                     };
+                    phases.finish(done - at);
                     return Ok(OpOutcome {
                         issued_at: at,
                         done_at: done,
                         found: true,
                         flash_reads: reads,
+                        phases,
                     });
                 }
                 let g = &self.levels[li].groups[gi].content;
@@ -290,11 +376,15 @@ impl AnyKeyStore {
                 break;
             }
         }
+        let done = t + self.cfg.cpu.dram_op_ns;
+        phases.engine += self.cfg.cpu.dram_op_ns;
+        phases.finish(done - at);
         Ok(OpOutcome {
             issued_at: at,
-            done_at: t + self.cfg.cpu.dram_op_ns,
+            done_at: done,
             found: false,
             flash_reads: reads,
+            phases,
         })
     }
 
@@ -462,10 +552,16 @@ impl AnyKeyStore {
         // Flash timing: directory pages first, then data + log pages.
         let mut t = at + self.cfg.cpu.hash_ns;
         let mut reads = 0u32;
+        let mut phases = PhaseBreakdown {
+            engine: self.cfg.cpu.hash_ns,
+            ..PhaseBreakdown::default()
+        };
         dir_ppas.sort_unstable();
         dir_ppas.dedup();
         reads += dir_ppas.len() as u32;
+        let before = t;
         t = self.flash.read_many(dir_ppas, OpCause::HostRead, t);
+        phases.data_read += t - before;
         let mut data_ppas: Vec<Ppa> = Vec::new();
         let mut log_ppas: Vec<Ppa> = Vec::new();
         for (_, cand) in &chosen {
@@ -482,6 +578,12 @@ impl AnyKeyStore {
         let t_data = self.flash.read_many(data_ppas, OpCause::HostRead, t);
         let t_log = self.flash.read_many(log_ppas, OpCause::LogRead, t);
         let done = t_data.max(t_log);
+        // Data and log reads overlap; attribute the critical path — data
+        // reads in full, log reads only for the tail they add past them —
+        // so the phases still sum exactly to the latency.
+        phases.data_read += t_data - t;
+        phases.log_read += done - t_data;
+        phases.finish(done - at);
 
         let ids: Vec<u64> = chosen.iter().map(|(k, _)| k.id()).collect();
         let found = !ids.is_empty();
@@ -492,6 +594,7 @@ impl AnyKeyStore {
                 done_at: done,
                 found,
                 flash_reads: reads,
+                phases,
             },
         ))
     }
@@ -572,6 +675,7 @@ impl KvEngine for AnyKeyStore {
                     done_at: at,
                     found: false,
                     flash_reads: 0,
+                    phases: PhaseBreakdown::default(),
                 },
             )
         })
@@ -641,5 +745,37 @@ impl KvEngine for AnyKeyStore {
 
     fn check_invariants(&self) -> Result<(), AuditError> {
         self.verify_invariants()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.flash.set_tracing(on);
+        #[cfg(feature = "trace")]
+        if on {
+            self.spans.clear();
+            self.span_seq = 0;
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let geometry = self.cfg.flash.geometry;
+        let mut out: Vec<TraceEvent> = self
+            .flash
+            .take_trace_events()
+            .into_iter()
+            .map(|e| TraceEvent::FlashOp {
+                op: e.op.as_str().to_string(),
+                cause: e.cause_str().to_string(),
+                chip: e.chip,
+                channel: geometry.channel_of_chip(e.chip),
+                issued: e.issued,
+                start: e.start,
+                done: e.done,
+                retries: e.retries,
+            })
+            .collect();
+        out.append(&mut self.spans);
+        anykey_metrics::trace::sort_events(&mut out);
+        out
     }
 }

@@ -1,6 +1,7 @@
 //! The engine trait every KV-SSD design implements.
 
 use anykey_flash::{FlashCounters, Ns};
+use anykey_metrics::trace::{PhaseBreakdown, TraceEvent};
 use anykey_workload::Op;
 
 use crate::audit::AuditError;
@@ -24,6 +25,11 @@ pub struct OpOutcome {
     /// Number of flash page reads on this operation's critical path — the
     /// paper's Figure 11b metric (flash accesses per read request).
     pub flash_reads: u32,
+    /// Where the operation's latency went, phase by phase: the five fields
+    /// sum exactly to `done_at − issued_at`. Always populated — phase
+    /// attribution is cheap arithmetic on the critical path, unlike raw
+    /// event tracing.
+    pub phases: PhaseBreakdown,
 }
 
 impl OpOutcome {
@@ -137,6 +143,18 @@ pub trait KvEngine {
     /// invariant with its observed and expected values.
     fn check_invariants(&self) -> Result<(), AuditError>;
 
+    /// Enables or disables trace-event recording (flash-op lifecycles and
+    /// engine background spans). Default: a no-op — engines without
+    /// tracing support, and all engines built without the `trace` cargo
+    /// feature, silently record nothing.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Drains the recorded trace events, converted to the serializable
+    /// metrics model and sorted by timestamp. Default: empty.
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
     /// Inserts (or updates) a key at the current horizon — convenience for
     /// examples and tests.
     ///
@@ -161,6 +179,7 @@ pub trait KvEngine {
                 done_at: at,
                 found: false,
                 flash_reads: 0,
+                phases: PhaseBreakdown::default(),
             },
         }
     }
@@ -189,6 +208,7 @@ mod tests {
             done_at: 150,
             found: true,
             flash_reads: 2,
+            phases: PhaseBreakdown::default(),
         };
         assert_eq!(o.latency(), 140);
     }

@@ -19,6 +19,8 @@ impl PinkStore {
         if self.buffer.is_empty() {
             return Ok(at);
         }
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         let mut t = self.gc_if_needed(at)?;
         let entries = self.buffer.drain();
         let mut upper: Vec<SegEntry> = Vec::with_capacity(entries.len());
@@ -54,6 +56,8 @@ impl PinkStore {
         // Deeper merges are pipelined background work; the buffer frees as
         // soon as the L0->L1 merge lands.
         self.maintain(t_ack)?;
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "flush", "buffer", 0, at, t_ack);
         #[cfg(any(test, feature = "strict-invariants"))]
         self.verify_invariants()?;
         Ok(t_ack)
@@ -90,6 +94,8 @@ impl PinkStore {
         dst: usize,
         at: Ns,
     ) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         // Old meta generations are freed before the new one is written, so
         // the transient need is the destination's *growth* (the source's
         // meta volume) plus slack.
@@ -226,6 +232,8 @@ impl PinkStore {
 
         let done = t_place.max(t_erase) + merged_count * self.cfg.cpu.sort_ns_per_entity;
         let done = done.max(self.gc_if_needed(done)?);
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "compaction", "merge", dst as u32, at, done);
         Ok(done)
     }
 

@@ -116,6 +116,8 @@ impl PinkStore {
     /// rather than patched in place — the reason the paper's Table 3 shows
     /// PinK with enormous GC *reads* but no GC writes), and erases it.
     fn relocate_data_block(&mut self, victim: BlockId, at: Ns) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         // The device reads the whole victim block to identify live pairs.
         let pages = self.flash.geometry().pages_per_block;
         let read_ppas = (0..pages).map(|p| Ppa {
@@ -160,6 +162,8 @@ impl PinkStore {
         } else {
             self.alloc.retire(victim)?;
         }
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "gc", "relocate-data", 0, at, r.done);
         Ok(r.done)
     }
 
@@ -181,6 +185,8 @@ impl PinkStore {
 
     /// Relocates the live meta pages of a meta block and erases it.
     fn relocate_meta_block(&mut self, victim: BlockId, at: Ns) -> Result<Ns, KvError> {
+        #[cfg(feature = "trace")]
+        let snap = self.span_snapshot();
         // Owners: spilled segments and spilled level-list pages.
         let mut seg_owners: Vec<(usize, usize)> = Vec::new();
         let mut list_owners: Vec<(usize, usize)> = Vec::new();
@@ -236,6 +242,8 @@ impl PinkStore {
         }
         // `free_page` erased and freed the victim once its last live page
         // was released.
+        #[cfg(feature = "trace")]
+        self.push_span(snap, "gc", "relocate-meta", 0, at, t);
         Ok(t)
     }
 }

@@ -21,6 +21,9 @@ mod tests;
 use std::collections::HashMap;
 
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_metrics::trace::PhaseBreakdown;
+#[cfg(feature = "trace")]
+use anykey_metrics::trace::TraceEvent;
 use anykey_workload::Op;
 
 use crate::audit::AuditError;
@@ -118,6 +121,12 @@ pub struct PinkStore {
     live_bytes: u64,
     /// Completion time of the in-flight flush (double-buffered L0).
     flush_done: Ns,
+    /// Recorded background spans (flush/compaction/GC) while tracing.
+    #[cfg(feature = "trace")]
+    spans: Vec<TraceEvent>,
+    /// Next span id (unique per tracing session).
+    #[cfg(feature = "trace")]
+    span_seq: u64,
 }
 
 impl PinkStore {
@@ -143,6 +152,10 @@ impl PinkStore {
             live: HashMap::new(),
             live_bytes: 0,
             flush_done: 0,
+            #[cfg(feature = "trace")]
+            spans: Vec::new(),
+            #[cfg(feature = "trace")]
+            span_seq: 0,
             flash,
             cfg,
         }
@@ -150,6 +163,45 @@ impl PinkStore {
 
     fn make_key(&self, id: u64) -> Result<Key, KvError> {
         Key::new(id, self.cfg.key_len)
+    }
+
+    /// Snapshot of total flash page reads/writes, taken at the start of a
+    /// background span; `None` when tracing is off.
+    #[cfg(feature = "trace")]
+    pub(crate) fn span_snapshot(&self) -> Option<(u64, u64)> {
+        self.flash.is_tracing().then(|| {
+            let c = self.flash.counters();
+            (c.total_reads(), c.total_writes())
+        })
+    }
+
+    /// Records a completed background span against a [`Self::span_snapshot`]
+    /// taken before the work; a `None` snapshot (tracing off) is a no-op.
+    #[cfg(feature = "trace")]
+    pub(crate) fn push_span(
+        &mut self,
+        snap: Option<(u64, u64)>,
+        kind: &str,
+        label: &str,
+        level: u32,
+        start: Ns,
+        end: Ns,
+    ) {
+        let Some((r0, w0)) = snap else { return };
+        let id = self.span_seq;
+        self.span_seq += 1;
+        let c = self.flash.counters();
+        let (r1, w1) = (c.total_reads(), c.total_writes());
+        self.spans.push(TraceEvent::Span {
+            kind: kind.to_string(),
+            label: label.to_string(),
+            level,
+            id,
+            start,
+            end,
+            pages_read: r1.saturating_sub(r0),
+            pages_written: w1.saturating_sub(w0),
+        });
     }
 
     fn list_entries_per_page(&self, key_len: u64) -> u64 {
@@ -191,11 +243,19 @@ impl PinkStore {
             self.flush_done = self.flush(start)?;
             done = start + self.cfg.cpu.dram_op_ns;
         }
+        // CPU cost is the only attributed phase; a flush stall (done being
+        // pushed past the CPU cost) lands in queue_wait via the residual.
+        let mut phases = PhaseBreakdown {
+            engine: self.cfg.cpu.dram_op_ns,
+            ..PhaseBreakdown::default()
+        };
+        phases.finish(done - at);
         Ok(OpOutcome {
             issued_at: at,
             done_at: done,
             found: true,
             flash_reads: 0,
+            phases,
         })
     }
 
@@ -203,13 +263,18 @@ impl PinkStore {
         let key = self.make_key(id)?;
         let mut t = at;
         let mut reads = 0u32;
+        let mut phases = PhaseBreakdown::default();
 
         if let Some(e) = self.buffer.get(&key) {
+            let done = t + self.cfg.cpu.dram_op_ns;
+            phases.engine += self.cfg.cpu.dram_op_ns;
+            phases.finish(done - at);
             return Ok(OpOutcome {
                 issued_at: at,
-                done_at: t + self.cfg.cpu.dram_op_ns,
+                done_at: done,
                 found: !e.tombstone,
                 flash_reads: 0,
+                phases,
             });
         }
 
@@ -224,7 +289,9 @@ impl PinkStore {
                 let page_idx =
                     (si / per_page).min(self.levels[li].list_pages.len().saturating_sub(1));
                 if let Some(&ppa) = self.levels[li].list_pages.get(page_idx) {
+                    let before = t;
                     t = self.flash.read(ppa, OpCause::MetaRead, t).done;
+                    phases.meta_read += t - before;
                     reads += 1;
                 }
             }
@@ -234,34 +301,47 @@ impl PinkStore {
                 let ppa = self.levels[li].segs[si].ppa.ok_or(KvError::Internal {
                     context: "spilled segment has no flash location",
                 })?;
+                let before = t;
                 t = self.flash.read(ppa, OpCause::MetaRead, t).done;
+                phases.meta_read += t - before;
                 reads += 1;
             }
             if let Some(e) = self.levels[li].segs[si].find(key) {
                 if e.tombstone {
+                    let done = t + self.cfg.cpu.dram_op_ns;
+                    phases.engine += self.cfg.cpu.dram_op_ns;
+                    phases.finish(done - at);
                     return Ok(OpOutcome {
                         issued_at: at,
-                        done_at: t + self.cfg.cpu.dram_op_ns,
+                        done_at: done,
                         found: false,
                         flash_reads: reads,
+                        phases,
                     });
                 }
                 let ptr = e.ptr;
                 reads += ptr.span as u32;
                 let done = self.flash.read_many(ptr.pages(), OpCause::HostRead, t);
+                phases.data_read += done - t;
+                phases.finish(done - at);
                 return Ok(OpOutcome {
                     issued_at: at,
                     done_at: done,
                     found: true,
                     flash_reads: reads,
+                    phases,
                 });
             }
         }
+        let done = t + self.cfg.cpu.dram_op_ns;
+        phases.engine += self.cfg.cpu.dram_op_ns;
+        phases.finish(done - at);
         Ok(OpOutcome {
             issued_at: at,
-            done_at: t + self.cfg.cpu.dram_op_ns,
+            done_at: done,
             found: false,
             flash_reads: reads,
+            phases,
         })
     }
 
@@ -358,7 +438,10 @@ impl PinkStore {
         meta_ppas.sort_unstable();
         meta_ppas.dedup();
         reads += meta_ppas.len() as u32;
+        let mut phases = PhaseBreakdown::default();
+        let before = t;
         t = self.flash.read_many(meta_ppas, OpCause::MetaRead, t);
+        phases.meta_read += t - before;
 
         // Merge with the buffer, newest wins.
         cands.sort_by(|a, b| a.entry.key.cmp(&b.entry.key).then(a.level.cmp(&b.level)));
@@ -418,6 +501,9 @@ impl PinkStore {
         data_ppas.dedup();
         reads += data_ppas.len() as u32;
         let done = self.flash.read_many(data_ppas, OpCause::HostRead, t);
+        let done = done.max(t);
+        phases.data_read += done - t;
+        phases.finish(done - at);
 
         let ids: Vec<u64> = chosen.iter().map(|(k, _)| k.id()).collect();
         let found = !ids.is_empty();
@@ -425,9 +511,10 @@ impl PinkStore {
             ids,
             OpOutcome {
                 issued_at: at,
-                done_at: done.max(t),
+                done_at: done,
                 found,
                 flash_reads: reads,
+                phases,
             },
         ))
     }
@@ -458,6 +545,7 @@ impl KvEngine for PinkStore {
                     done_at: at,
                     found: false,
                     flash_reads: 0,
+                    phases: PhaseBreakdown::default(),
                 },
             )
         })
@@ -519,5 +607,37 @@ impl KvEngine for PinkStore {
 
     fn check_invariants(&self) -> Result<(), AuditError> {
         self.verify_invariants()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.flash.set_tracing(on);
+        #[cfg(feature = "trace")]
+        if on {
+            self.spans.clear();
+            self.span_seq = 0;
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let geometry = self.cfg.flash.geometry;
+        let mut out: Vec<TraceEvent> = self
+            .flash
+            .take_trace_events()
+            .into_iter()
+            .map(|e| TraceEvent::FlashOp {
+                op: e.op.as_str().to_string(),
+                cause: e.cause_str().to_string(),
+                chip: e.chip,
+                channel: geometry.channel_of_chip(e.chip),
+                issued: e.issued,
+                start: e.start,
+                done: e.done,
+                retries: e.retries,
+            })
+            .collect();
+        out.append(&mut self.spans);
+        anykey_metrics::trace::sort_events(&mut out);
+        out
     }
 }

@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use anykey_flash::{FlashCounters, Ns, SECOND};
+use anykey_metrics::trace::{sort_events, PhaseHists, TraceEvent};
 use anykey_metrics::LatencyHist;
 use anykey_workload::Op;
 
@@ -43,6 +44,11 @@ pub struct RunReport {
     /// *i* flash page reads (the last bucket aggregates ≥ MAX_TRACKED_READS)
     /// — the paper's Figure 11b.
     pub reads_per_get: [u64; MAX_TRACKED_READS + 1],
+    /// Per-phase latency histograms over every executed request (one
+    /// sample per phase per request); the source of `summary.json`'s
+    /// `phase_*` fields. Always on — this is cheap aggregate arithmetic,
+    /// unlike raw event tracing.
+    pub phases: PhaseHists,
 }
 
 impl RunReport {
@@ -90,6 +96,54 @@ pub fn run(
     n_ops: u64,
     queue_depth: usize,
 ) -> Result<RunReport, KvError> {
+    run_inner(engine, ops, n_ops, queue_depth, None)
+}
+
+/// Like [`run`], but with trace-event recording enabled on the engine for
+/// the duration: returns the report plus the merged event stream — flash
+/// op lifecycles and engine spans from the engine, one request event per
+/// executed operation from the pipeline — in canonical timestamp order.
+///
+/// Tracing is pure observation (it never touches the virtual clock), so
+/// the report is identical to what [`run`] would have produced. Engines
+/// built without the `trace` cargo feature yield request events only.
+///
+/// # Errors
+///
+/// Returns [`KvError::DeviceFull`] if the device fills mid-run.
+pub fn run_traced(
+    engine: &mut dyn KvEngine,
+    ops: impl Iterator<Item = Op>,
+    n_ops: u64,
+    queue_depth: usize,
+) -> Result<(RunReport, Vec<TraceEvent>), KvError> {
+    engine.set_tracing(true);
+    let mut events = Vec::new();
+    let report = run_inner(engine, ops, n_ops, queue_depth, Some(&mut events));
+    let mut merged = engine.take_trace();
+    engine.set_tracing(false);
+    let report = report?;
+    merged.append(&mut events);
+    sort_events(&mut merged);
+    Ok((report, merged))
+}
+
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Get { .. } => "get",
+        Op::Put { .. } => "put",
+        Op::Delete { .. } => "delete",
+        Op::Scan { .. } => "scan",
+    }
+}
+
+fn run_inner(
+    engine: &mut dyn KvEngine,
+    ops: impl Iterator<Item = Op>,
+    n_ops: u64,
+    queue_depth: usize,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> Result<RunReport, KvError> {
     let start = engine.horizon();
     let mut report = RunReport {
         reads: LatencyHist::new(),
@@ -102,6 +156,7 @@ pub fn run(
         end: start,
         counters: FlashCounters::new(),
         reads_per_get: [0; MAX_TRACKED_READS + 1],
+        phases: PhaseHists::new(),
     };
     let counters_before = engine.counters();
     let mut inflight: BinaryHeap<Reverse<Ns>> = BinaryHeap::new();
@@ -132,6 +187,18 @@ pub fn run(
             }
             Op::Put { .. } | Op::Delete { .. } => report.writes.record(latency),
             Op::Scan { .. } => report.scans.record(latency),
+        }
+        report.phases.record(&outcome.phases);
+        if let Some(events) = trace.as_deref_mut() {
+            events.push(TraceEvent::Request {
+                op: op_name(&op).to_string(),
+                seq: report.ops,
+                issued: outcome.issued_at,
+                done: outcome.done_at,
+                found: outcome.found,
+                flash_reads: outcome.flash_reads,
+                phases: outcome.phases,
+            });
         }
         report.ops += 1;
         report.end = report.end.max(outcome.done_at);
@@ -185,6 +252,92 @@ mod tests {
         // Warm-up inserted every key: GETs should overwhelmingly hit.
         assert!(report.found > report.not_found * 50);
         assert!(report.end > report.start);
+    }
+
+    #[test]
+    fn phase_breakdowns_cover_every_request() {
+        let mut dev = DeviceConfig::builder()
+            .capacity_bytes(64 << 20)
+            .engine(EngineKind::AnyKey)
+            .key_len(20)
+            .build()
+            .build_engine();
+        let w = spec::by_name("Dedup").unwrap();
+        warm_up(dev.as_mut(), w, 10_000, 5).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(6).build();
+        let report = run(dev.as_mut(), ops, 2_000, DEFAULT_QUEUE_DEPTH).unwrap();
+        // One sample per phase per request, and total phase time equals
+        // total latency (the breakdown is exact, not approximate).
+        for (_, h) in report.phases.named() {
+            assert_eq!(h.count(), report.ops);
+        }
+        let latency_total = report.reads.total() + report.writes.total() + report.scans.total();
+        let phase_total: u64 = report.phases.named().iter().map(|(_, h)| h.total()).sum();
+        assert_eq!(phase_total, latency_total);
+    }
+
+    #[test]
+    fn per_op_phases_sum_to_latency() {
+        let mut dev = DeviceConfig::builder()
+            .capacity_bytes(64 << 20)
+            .engine(EngineKind::Pink)
+            .key_len(20)
+            .build()
+            .build_engine();
+        let w = spec::by_name("Dedup").unwrap();
+        warm_up(dev.as_mut(), w, 5_000, 7).unwrap();
+        let ops = OpStreamBuilder::new(w, 5_000).seed(8).build();
+        for op in ops.take(500) {
+            let at = dev.horizon();
+            let outcome = dev.execute(&op, at).unwrap();
+            assert_eq!(
+                outcome.phases.total(),
+                outcome.latency(),
+                "phase fields must sum exactly to the op latency"
+            );
+        }
+    }
+
+    #[test]
+    fn run_traced_report_matches_untraced_run() {
+        let build = || {
+            DeviceConfig::builder()
+                .capacity_bytes(64 << 20)
+                .engine(EngineKind::AnyKey)
+                .key_len(20)
+                .build()
+                .build_engine()
+        };
+        let w = spec::by_name("Dedup").unwrap();
+        let mut a = build();
+        warm_up(a.as_mut(), w, 10_000, 9).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(10).build();
+        let plain = run(a.as_mut(), ops, 1_000, DEFAULT_QUEUE_DEPTH).unwrap();
+
+        let mut b = build();
+        warm_up(b.as_mut(), w, 10_000, 9).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(10).build();
+        let (traced, events) = run_traced(b.as_mut(), ops, 1_000, DEFAULT_QUEUE_DEPTH).unwrap();
+
+        // Tracing is pure observation: identical timings either way.
+        assert_eq!(traced.ops, plain.ops);
+        assert_eq!(traced.start, plain.start);
+        assert_eq!(traced.end, plain.end);
+        assert_eq!(traced.reads.total(), plain.reads.total());
+        assert_eq!(traced.writes.total(), plain.writes.total());
+
+        // One request event per op, and the stream is timestamp-sorted.
+        let requests = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Request { .. }))
+            .count() as u64;
+        assert_eq!(requests, traced.ops);
+        assert!(events.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        // With the trace feature on, flash-op events appear too.
+        #[cfg(feature = "trace")]
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FlashOp { .. })));
     }
 
     #[test]

@@ -65,6 +65,23 @@ impl OpCause {
         }
     }
 
+    /// Stable lowercase name of the cause (what [`fmt::Display`] prints
+    /// and the trace exporters embed).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpCause::HostRead => "host-read",
+            OpCause::HostWrite => "host-write",
+            OpCause::MetaRead => "meta-read",
+            OpCause::MetaWrite => "meta-write",
+            OpCause::CompactionRead => "compaction-read",
+            OpCause::CompactionWrite => "compaction-write",
+            OpCause::GcRead => "gc-read",
+            OpCause::GcWrite => "gc-write",
+            OpCause::LogRead => "log-read",
+            OpCause::LogWrite => "log-write",
+        }
+    }
+
     /// Whether this cause is a read-side cause.
     pub fn is_read(self) -> bool {
         matches!(
@@ -80,19 +97,7 @@ impl OpCause {
 
 impl fmt::Display for OpCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            OpCause::HostRead => "host-read",
-            OpCause::HostWrite => "host-write",
-            OpCause::MetaRead => "meta-read",
-            OpCause::MetaWrite => "meta-write",
-            OpCause::CompactionRead => "compaction-read",
-            OpCause::CompactionWrite => "compaction-write",
-            OpCause::GcRead => "gc-read",
-            OpCause::GcWrite => "gc-write",
-            OpCause::LogRead => "log-read",
-            OpCause::LogWrite => "log-write",
-        };
-        f.write_str(s)
+        f.write_str(self.as_str())
     }
 }
 

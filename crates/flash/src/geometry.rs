@@ -93,6 +93,13 @@ impl FlashGeometry {
     pub fn chip_of_block(&self, block: u32) -> u32 {
         block % self.chips()
     }
+
+    /// The channel a chip hangs off (chips are grouped per channel:
+    /// chips `0..chips_per_channel` on channel 0, and so on). Used by the
+    /// trace exporters to label chip tracks.
+    pub fn channel_of_chip(&self, chip: u32) -> u32 {
+        chip / self.chips_per_channel
+    }
 }
 
 impl Default for FlashGeometry {

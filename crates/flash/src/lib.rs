@@ -52,6 +52,8 @@ pub mod geometry;
 pub mod latency;
 /// The virtual-time flash device simulator.
 pub mod sim;
+/// Flash-op lifecycle events for the tracing subsystem.
+pub mod trace;
 
 /// Flash addressing primitives.
 pub use address::{BlockId, Ppa};
@@ -67,6 +69,8 @@ pub use geometry::FlashGeometry;
 pub use latency::{LatencyModel, PageKind};
 /// Simulator configuration, operation outcomes, and the simulator itself.
 pub use sim::{FlashConfig, FlashOpResult, FlashOpStatus, FlashSim};
+/// Flash-op lifecycle events recorded while tracing.
+pub use trace::{FlashEvent, FlashOpKind};
 
 /// Simulated time in nanoseconds since the start of the run.
 pub type Ns = u64;

@@ -80,6 +80,9 @@ impl FlashOpStatus {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[must_use = "a flash operation may have failed; check the status"]
 pub struct FlashOpResult {
+    /// Time the chip started executing the operation; `start − issue time`
+    /// is the queueing stall the op suffered behind other traffic.
+    pub start: Ns,
     /// Completion time, including any read-retry steps.
     pub done: Ns,
     /// Media status; failed operations still consumed chip time.
@@ -135,6 +138,12 @@ pub struct FlashSim {
     /// ops on the same page at different points of the run draw
     /// independently.
     op_seq: u64,
+    /// Recorded op-lifecycle events; populated only while tracing is on.
+    #[cfg(feature = "trace")]
+    events: Vec<crate::trace::FlashEvent>,
+    /// Whether op-lifecycle recording is active.
+    #[cfg(feature = "trace")]
+    tracing: bool,
 }
 
 impl FlashSim {
@@ -148,6 +157,10 @@ impl FlashSim {
             counters: FlashCounters::new(),
             wear: vec![0; blocks],
             op_seq: 0,
+            #[cfg(feature = "trace")]
+            events: Vec::new(),
+            #[cfg(feature = "trace")]
+            tracing: false,
         }
     }
 
@@ -176,7 +189,9 @@ impl FlashSim {
             .unwrap_or(0)
     }
 
-    fn schedule(&mut self, chip_idx: u32, lane: Lane, latency: Ns, at: Ns) -> Ns {
+    /// Places one op of `latency` on a chip's lane timeline; returns its
+    /// `(start, done)` pair on the chip timeline.
+    fn schedule(&mut self, chip_idx: u32, lane: Lane, latency: Ns, at: Ns) -> (Ns, Ns) {
         let chip = &mut self.chips[chip_idx as usize];
         match lane {
             Lane::Fg => {
@@ -195,15 +210,98 @@ impl FlashSim {
                     chip.bg_done += latency;
                 }
                 chip.fg_free = start + latency;
-                chip.fg_free
+                (start, chip.fg_free)
             }
             Lane::Bg => {
                 // Background work runs whenever the chip is free of
                 // foreground work, after previously queued background work.
                 let start = at.max(chip.bg_done).max(chip.fg_free);
                 chip.bg_done = start + latency;
-                chip.bg_done
+                (start, chip.bg_done)
             }
+        }
+    }
+
+    /// Records one op lifecycle into the trace buffer (when tracing).
+    #[cfg(feature = "trace")]
+    #[allow(clippy::too_many_arguments)]
+    fn record_op(
+        &mut self,
+        op: crate::trace::FlashOpKind,
+        cause: Option<OpCause>,
+        chip: u32,
+        issued: Ns,
+        start: Ns,
+        done: Ns,
+        retries: u32,
+    ) {
+        if self.tracing {
+            self.events.push(crate::trace::FlashEvent {
+                op,
+                cause,
+                chip,
+                issued,
+                start,
+                done,
+                retries,
+            });
+        }
+    }
+
+    /// No-op twin of the tracing recorder when the `trace` feature is off:
+    /// the call sites stay unconditional and the optimizer erases them.
+    #[cfg(not(feature = "trace"))]
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn record_op(
+        &mut self,
+        _op: crate::trace::FlashOpKind,
+        _cause: Option<OpCause>,
+        _chip: u32,
+        _issued: Ns,
+        _start: Ns,
+        _done: Ns,
+        _retries: u32,
+    ) {
+    }
+
+    /// Enables or disables flash-op lifecycle recording. Enabling clears
+    /// any previously recorded events. Without the `trace` cargo feature
+    /// this is a no-op and recording is always off.
+    pub fn set_tracing(&mut self, on: bool) {
+        #[cfg(feature = "trace")]
+        {
+            self.tracing = on;
+            if on {
+                self.events.clear();
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = on;
+    }
+
+    /// Whether op-lifecycle recording is currently active.
+    pub fn is_tracing(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.tracing
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Drains the recorded op-lifecycle events (empty without the `trace`
+    /// feature or when tracing was never enabled).
+    pub fn take_trace_events(&mut self) -> Vec<crate::trace::FlashEvent> {
+        #[cfg(feature = "trace")]
+        {
+            std::mem::take(&mut self.events)
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
         }
     }
 
@@ -228,9 +326,10 @@ impl FlashSim {
         let mut lat = self.cfg.latency.read(kind);
         self.counters.count_read(cause);
         let seq = self.next_seq();
+        let mut retries = 0u32;
         if self.cfg.fault.is_enabled() {
             let wear = self.block_wear(ppa.block);
-            let retries = self
+            retries = self
                 .cfg
                 .fault
                 .read_retries(wear, ppa.block.0, ppa.page, seq);
@@ -239,8 +338,18 @@ impl FlashSim {
                 lat += u64::from(retries) * self.cfg.latency.read_sense(kind);
             }
         }
-        let done = self.schedule(chip, cause.lane(), lat, at);
+        let (start, done) = self.schedule(chip, cause.lane(), lat, at);
+        self.record_op(
+            crate::trace::FlashOpKind::Read,
+            Some(cause),
+            chip,
+            at,
+            start,
+            done,
+            retries,
+        );
         FlashOpResult {
+            start,
             done,
             status: FlashOpStatus::Ok,
         }
@@ -269,8 +378,21 @@ impl FlashSim {
                 status = FlashOpStatus::ProgramFail;
             }
         }
-        let done = self.schedule(chip, cause.lane(), lat, at);
-        FlashOpResult { done, status }
+        let (start, done) = self.schedule(chip, cause.lane(), lat, at);
+        self.record_op(
+            crate::trace::FlashOpKind::Program,
+            Some(cause),
+            chip,
+            at,
+            start,
+            done,
+            0,
+        );
+        FlashOpResult {
+            start,
+            done,
+            status,
+        }
     }
 
     /// Erases a block; returns its completion time and status.
@@ -298,8 +420,21 @@ impl FlashSim {
                 *w = w.saturating_add(1);
             }
         }
-        let done = self.schedule(chip, Lane::Bg, lat, at);
-        FlashOpResult { done, status }
+        let (start, done) = self.schedule(chip, Lane::Bg, lat, at);
+        self.record_op(
+            crate::trace::FlashOpKind::Erase,
+            None,
+            chip,
+            at,
+            start,
+            done,
+            0,
+        );
+        FlashOpResult {
+            start,
+            done,
+            status,
+        }
     }
 
     /// Reads a set of independent pages in parallel; returns the time the
@@ -330,11 +465,19 @@ impl FlashSim {
         I: IntoIterator<Item = Ppa>,
     {
         let mut out = FlashOpResult {
+            start: at,
             done: at,
             status: FlashOpStatus::Ok,
         };
+        let mut first = true;
         for ppa in ppas {
             let r = self.program(ppa, cause, at);
+            out.start = if first {
+                r.start
+            } else {
+                out.start.min(r.start)
+            };
+            first = false;
             out.done = out.done.max(r.done);
             if !r.status.is_ok() {
                 out.status = r.status;
@@ -565,6 +708,57 @@ mod tests {
         let (c2, h2) = run();
         assert_eq!(c1, c2, "same seed + same op sequence => same counters");
         assert_eq!(h1, h2, "same seed + same op sequence => same horizon");
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let mut s = sim();
+        let _ = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        assert!(!s.is_tracing());
+        assert!(s.take_trace_events().is_empty());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn tracing_records_lifecycle_without_perturbing_time() {
+        use crate::trace::FlashOpKind;
+        let mut traced = sim();
+        let mut plain = sim();
+        traced.set_tracing(true);
+        assert!(traced.is_tracing());
+        let t1 = traced.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        let p1 = plain.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        assert_eq!(t1, p1, "tracing must not change the timeline");
+        let _ = traced.program(Ppa::new(0, 1), OpCause::CompactionWrite, 0);
+        let _ = traced.erase(BlockId(1), 0);
+        let events = traced.take_trace_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].op, FlashOpKind::Read);
+        assert_eq!(events[0].cause_str(), "host-read");
+        assert_eq!(events[0].issued, 0);
+        assert_eq!(events[0].done, t1.done);
+        assert!(events[0].issued <= events[0].start && events[0].start <= events[0].done);
+        assert_eq!(events[2].op, FlashOpKind::Erase);
+        assert_eq!(events[2].cause_str(), "erase");
+        // Drained: the buffer is empty until re-enabled work arrives.
+        assert!(traced.take_trace_events().is_empty());
+        // Disabling stops recording.
+        traced.set_tracing(false);
+        let _ = traced.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        assert!(traced.take_trace_events().is_empty());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn fg_op_start_reflects_queueing_stall() {
+        let mut s = sim();
+        s.set_tracing(true);
+        let r1 = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        let r2 = s.read(Ppa::new(0, 0), OpCause::HostRead, 0);
+        assert_eq!(r1.start, 0, "first op starts immediately");
+        assert_eq!(r2.start, r1.done, "second op stalls behind the first");
+        let events = s.take_trace_events();
+        assert_eq!(events[1].start - events[1].issued, r1.done);
     }
 
     #[test]

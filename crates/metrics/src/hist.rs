@@ -121,6 +121,32 @@ impl LatencyHist {
         self.max
     }
 
+    /// Median latency — shorthand for `quantile(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (the paper's headline tail metric) —
+    /// shorthand for `quantile(0.95)`.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency — shorthand for `quantile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency — shorthand for `quantile(0.999)`.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Sum of all recorded samples, saturating at `u64::MAX`.
+    pub fn total(&self) -> u64 {
+        u64::try_from(self.sum).unwrap_or(u64::MAX)
+    }
+
     /// CDF sample points `(latency_ns, cumulative_fraction)` over non-empty
     /// buckets — one row per bucket, ready for plotting the paper's
     /// Figure 10/15/16/17/18 curves.
@@ -166,9 +192,9 @@ impl fmt::Debug for LatencyHist {
         f.debug_struct("LatencyHist")
             .field("count", &self.count)
             .field("mean_ns", &self.mean())
-            .field("p50", &self.quantile(0.5))
-            .field("p95", &self.quantile(0.95))
-            .field("p99", &self.quantile(0.99))
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
             .field("max", &self.max())
             .finish()
     }
@@ -181,9 +207,9 @@ impl fmt::Display for LatencyHist {
             "n={} mean={}us p50={}us p95={}us p99={}us max={}us",
             self.count,
             self.mean() / 1000,
-            self.quantile(0.5) / 1000,
-            self.quantile(0.95) / 1000,
-            self.quantile(0.99) / 1000,
+            self.p50() / 1000,
+            self.p95() / 1000,
+            self.p99() / 1000,
             self.max() / 1000,
         )
     }
@@ -203,6 +229,16 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_accessors_are_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
     fn single_value_dominates_all_quantiles() {
         let mut h = LatencyHist::new();
         h.record(12345);
@@ -210,6 +246,37 @@ mod tests {
         assert_eq!(h.quantile(1.0), 12345);
         assert_eq!(h.max(), 12345);
         assert_eq!(h.min(), 12345);
+    }
+
+    #[test]
+    fn single_sample_accessors_all_return_it() {
+        let mut h = LatencyHist::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p95(), 777);
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.p999(), 777);
+        assert_eq!(h.total(), 777);
+    }
+
+    #[test]
+    fn accessors_match_generic_quantile() {
+        let mut h = LatencyHist::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 13);
+        }
+        assert_eq!(h.p50(), h.quantile(0.50));
+        assert_eq!(h.p95(), h.quantile(0.95));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+    }
+
+    #[test]
+    fn total_saturates_instead_of_overflowing() {
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
     }
 
     #[test]

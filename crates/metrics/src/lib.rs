@@ -22,6 +22,8 @@ pub mod hist;
 pub mod report;
 /// Machine-readable `summary.json` schema, parser, and tolerance diff.
 pub mod summary;
+/// Virtual-time trace events, phase attribution, and exporters.
+pub mod trace;
 
 /// Log-bucketed latency histogram with exact quantile queries.
 pub use hist::LatencyHist;
@@ -29,3 +31,5 @@ pub use hist::LatencyHist;
 pub use report::{Csv, Table};
 /// The `summary.json` schema and diff entry points.
 pub use summary::{diff, parse, PointSummary, RunSummary};
+/// The trace event model and phase-breakdown aggregates.
+pub use trace::{PhaseBreakdown, PhaseHists, TraceEvent, TRACE_SCHEMA_VERSION};

@@ -29,7 +29,11 @@ use std::path::Path;
 
 /// Version stamp of the `summary.json` schema. Bump on any field change so
 /// `bench-diff` can refuse to compare incompatible documents.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-point phase-breakdown fields (`phase_*_ns`,
+/// `phase_*_p99_ns`) so the regression gate can localize *which phase* of
+/// the request path regressed, not just that end-to-end latency moved.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default multiplicative tolerance for wall-time metrics: the candidate
 /// may take up to 5× the baseline's wall seconds before the diff fails.
@@ -110,6 +114,27 @@ pub struct PointSummary {
     pub erases: u64,
     /// Media read-retry steps (nonzero only under fault injection).
     pub retry_reads: u64,
+    /// Total virtual ns measured requests spent queue-waiting (the
+    /// unattributed residual: flush stalls, closed-loop head-of-line).
+    pub phase_queue_ns: u64,
+    /// Total virtual ns measured requests spent in metadata flash reads.
+    pub phase_meta_ns: u64,
+    /// Total virtual ns measured requests spent in data flash reads.
+    pub phase_data_ns: u64,
+    /// Total virtual ns measured requests spent in value-log flash reads.
+    pub phase_log_ns: u64,
+    /// Total virtual ns measured requests spent in engine CPU bookkeeping.
+    pub phase_engine_ns: u64,
+    /// p99 of the per-request queue-wait phase (virtual ns).
+    pub phase_queue_p99_ns: u64,
+    /// p99 of the per-request metadata-read phase (virtual ns).
+    pub phase_meta_p99_ns: u64,
+    /// p99 of the per-request data-read phase (virtual ns).
+    pub phase_data_p99_ns: u64,
+    /// p99 of the per-request value-log-read phase (virtual ns).
+    pub phase_log_p99_ns: u64,
+    /// p99 of the per-request engine-bookkeeping phase (virtual ns).
+    pub phase_engine_p99_ns: u64,
     /// Host wall-clock seconds the point took to simulate (band-compared).
     pub wall_secs: f64,
 }
@@ -130,7 +155,7 @@ pub struct RunSummary {
     pub points: Vec<PointSummary>,
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -188,6 +213,20 @@ impl RunSummary {
             let _ = writeln!(s, "      \"log_writes\": {},", p.log_writes);
             let _ = writeln!(s, "      \"erases\": {},", p.erases);
             let _ = writeln!(s, "      \"retry_reads\": {},", p.retry_reads);
+            let _ = writeln!(s, "      \"phase_queue_ns\": {},", p.phase_queue_ns);
+            let _ = writeln!(s, "      \"phase_meta_ns\": {},", p.phase_meta_ns);
+            let _ = writeln!(s, "      \"phase_data_ns\": {},", p.phase_data_ns);
+            let _ = writeln!(s, "      \"phase_log_ns\": {},", p.phase_log_ns);
+            let _ = writeln!(s, "      \"phase_engine_ns\": {},", p.phase_engine_ns);
+            let _ = writeln!(s, "      \"phase_queue_p99_ns\": {},", p.phase_queue_p99_ns);
+            let _ = writeln!(s, "      \"phase_meta_p99_ns\": {},", p.phase_meta_p99_ns);
+            let _ = writeln!(s, "      \"phase_data_p99_ns\": {},", p.phase_data_p99_ns);
+            let _ = writeln!(s, "      \"phase_log_p99_ns\": {},", p.phase_log_p99_ns);
+            let _ = writeln!(
+                s,
+                "      \"phase_engine_p99_ns\": {},",
+                p.phase_engine_p99_ns
+            );
             let _ = writeln!(s, "      \"wall_secs\": {:.6}", p.wall_secs);
             s.push_str(if i + 1 == self.points.len() {
                 "    }\n"
@@ -601,6 +640,16 @@ mod tests {
             log_writes: 8,
             erases: 9,
             retry_reads: 0,
+            phase_queue_ns: 11,
+            phase_meta_ns: 12,
+            phase_data_ns: 13,
+            phase_log_ns: 14,
+            phase_engine_ns: 15,
+            phase_queue_p99_ns: 21,
+            phase_meta_p99_ns: 22,
+            phase_data_p99_ns: 23,
+            phase_log_p99_ns: 24,
+            phase_engine_p99_ns: 25,
             wall_secs: wall,
         }
     }
@@ -622,7 +671,8 @@ mod tests {
     fn json_roundtrip_preserves_fields() {
         let s = sample(123456.789, 1.5);
         let parsed = parse(&s.to_json()).unwrap();
-        assert_eq!(parsed.field("schema_version"), Some("1"));
+        assert_eq!(parsed.field("schema_version"), Some("2"));
+        assert_eq!(parsed.points[0].field("phase_data_ns"), Some("13"));
         assert_eq!(parsed.field("seed"), Some("42"));
         assert_eq!(parsed.points.len(), 2);
         assert_eq!(parsed.points[0].key, "fig10/ZippyDB/AnyKey+");

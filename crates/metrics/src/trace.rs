@@ -1,0 +1,1263 @@
+//! Virtual-time tracing: flash-op lifecycle events, engine spans,
+//! per-request phase breakdown, and the JSONL / Chrome-trace exporters.
+//!
+//! The simulator runs on a discrete virtual clock, so a trace is not a
+//! *sample* of behaviour the way a wall-clock profiler's output is — it is
+//! the behaviour, bit for bit. Every timestamp below is virtual
+//! nanoseconds; none of this module may ever touch the host clock (the
+//! `trace-no-wall-clock` xtask lint enforces that). As a consequence,
+//! traces are byte-identical across runs, machines, and `--jobs` levels.
+//!
+//! Three event kinds exist, one per layer of the stack:
+//!
+//! - [`TraceEvent::FlashOp`] — one flash operation's lifecycle as the chip
+//!   scheduler saw it: issue time, dispatch (start) time, completion, the
+//!   cause tag, and the chip/channel it ran on. `start − issued` is the
+//!   queueing stall the op suffered behind other traffic.
+//! - [`TraceEvent::Span`] — one background activity window in an engine:
+//!   a flush, compaction, or GC relocation, with the level/group it worked
+//!   on and the flash pages it moved.
+//! - [`TraceEvent::Request`] — one host request with its final
+//!   [`PhaseBreakdown`]: where, phase by phase, its latency went.
+//!
+//! Two export formats share the same event model: line-oriented JSONL
+//! (schema-versioned, parsed back by [`parse_jsonl`] and summarized by
+//! `xtask trace`) and Chrome trace-event JSON loadable in Perfetto, with
+//! one track per chip and flow arrows from compaction/GC spans to the
+//! flash traffic they cause.
+
+use std::fmt;
+
+use crate::hist::LatencyHist;
+use crate::summary::esc;
+
+/// Version stamp of the JSONL trace schema. Bump on any event-shape
+/// change so `xtask trace` can refuse files it does not understand.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Where one request's latency went, phase by phase, in virtual ns.
+///
+/// The four attributed phases are accumulated on the request's critical
+/// path as the engine executes it; `queue_wait` is the exact residual
+/// `latency − (attributed sum)`, which is where head-of-line blocking
+/// (e.g. a PUT stalling behind a buffer flush) lands. The five fields
+/// therefore always sum to the request's end-to-end latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Unattributed residual: queueing and head-of-line blocking.
+    pub queue_wait: u64,
+    /// Flash reads of engine metadata (level lists, spilled segments).
+    pub meta_read: u64,
+    /// Flash reads of key/value data pages.
+    pub data_read: u64,
+    /// Flash reads of the value log.
+    pub log_read: u64,
+    /// Engine CPU bookkeeping (hashing, DRAM index operations).
+    pub engine: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the explicitly attributed phases (everything but
+    /// `queue_wait`).
+    pub fn attributed(&self) -> u64 {
+        self.meta_read
+            .saturating_add(self.data_read)
+            .saturating_add(self.log_read)
+            .saturating_add(self.engine)
+    }
+
+    /// Closes the breakdown for a request of total latency `latency_ns`:
+    /// sets `queue_wait` to the unattributed residual.
+    pub fn finish(&mut self, latency_ns: u64) {
+        self.queue_wait = latency_ns.saturating_sub(self.attributed());
+    }
+
+    /// Sum of all five phases — the request's end-to-end latency once
+    /// [`PhaseBreakdown::finish`] ran.
+    pub fn total(&self) -> u64 {
+        self.queue_wait.saturating_add(self.attributed())
+    }
+}
+
+/// Per-phase latency histograms over a run's measured requests.
+///
+/// This is the *aggregate* the bench harness keeps always-on (it feeds the
+/// `phase_*` fields of `summary.json` v2); raw [`TraceEvent`] streams are
+/// only collected when tracing is requested.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseHists {
+    /// Queue-wait phase samples, one per request.
+    pub queue_wait: LatencyHist,
+    /// Metadata-read phase samples, one per request.
+    pub meta_read: LatencyHist,
+    /// Data-read phase samples, one per request.
+    pub data_read: LatencyHist,
+    /// Value-log-read phase samples, one per request.
+    pub log_read: LatencyHist,
+    /// Engine-bookkeeping phase samples, one per request.
+    pub engine: LatencyHist,
+}
+
+impl PhaseHists {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's breakdown (one sample into each phase hist).
+    pub fn record(&mut self, pb: &PhaseBreakdown) {
+        self.queue_wait.record(pb.queue_wait);
+        self.meta_read.record(pb.meta_read);
+        self.data_read.record(pb.data_read);
+        self.log_read.record(pb.log_read);
+        self.engine.record(pb.engine);
+    }
+
+    /// Merges another set of phase histograms into this one.
+    pub fn merge(&mut self, other: &PhaseHists) {
+        self.queue_wait.merge(&other.queue_wait);
+        self.meta_read.merge(&other.meta_read);
+        self.data_read.merge(&other.data_read);
+        self.log_read.merge(&other.log_read);
+        self.engine.merge(&other.engine);
+    }
+
+    /// `(name, hist)` pairs in canonical display order.
+    pub fn named(&self) -> [(&'static str, &LatencyHist); 5] {
+        [
+            ("queue-wait", &self.queue_wait),
+            ("meta-read", &self.meta_read),
+            ("data-read", &self.data_read),
+            ("log-read", &self.log_read),
+            ("engine", &self.engine),
+        ]
+    }
+}
+
+/// One trace event, in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One flash operation's lifecycle on a chip.
+    FlashOp {
+        /// Operation kind: `read`, `program`, or `erase`.
+        op: String,
+        /// Cause tag (`host-read`, `compaction-write`, ...).
+        cause: String,
+        /// Chip index the op ran on.
+        chip: u32,
+        /// Channel the chip belongs to.
+        channel: u32,
+        /// Virtual ns the op was issued (entered the chip queue).
+        issued: u64,
+        /// Virtual ns the chip started executing the op.
+        start: u64,
+        /// Virtual ns the op completed.
+        done: u64,
+        /// Media retry steps the op needed (fault injection).
+        retries: u32,
+    },
+    /// One engine background-activity window (flush / compaction / GC).
+    Span {
+        /// Span kind: `flush`, `compaction`, or `gc`.
+        kind: String,
+        /// Detail label within the kind (e.g. `inline-rewrite`).
+        label: String,
+        /// Level / group the span worked on (0 when not applicable).
+        level: u32,
+        /// Monotone span id, unique within one engine's trace.
+        id: u64,
+        /// Virtual ns the span began.
+        start: u64,
+        /// Virtual ns the span ended.
+        end: u64,
+        /// Flash pages read during the span.
+        pages_read: u64,
+        /// Flash pages programmed during the span.
+        pages_written: u64,
+    },
+    /// One host request with its final phase attribution.
+    Request {
+        /// Request kind: `get`, `put`, `delete`, or `scan`.
+        op: String,
+        /// Zero-based request sequence number within the run.
+        seq: u64,
+        /// Virtual ns the request was issued.
+        issued: u64,
+        /// Virtual ns the request completed.
+        done: u64,
+        /// Whether the key was found (GET/DELETE; `true` for PUT/SCAN).
+        found: bool,
+        /// Flash page reads on the request's critical path.
+        flash_reads: u32,
+        /// Final phase breakdown; fields sum to `done − issued`.
+        phases: PhaseBreakdown,
+    },
+}
+
+impl TraceEvent {
+    /// The event's primary timestamp, used for timeline ordering: issue
+    /// time for flash ops and requests, start time for spans.
+    pub fn ts(&self) -> u64 {
+        match self {
+            TraceEvent::FlashOp { issued, .. } => *issued,
+            TraceEvent::Span { start, .. } => *start,
+            TraceEvent::Request { issued, .. } => *issued,
+        }
+    }
+}
+
+/// Sorts a merged event buffer into canonical order: primary timestamp,
+/// then a total tie-break over every discriminating field. The order must
+/// not depend on recording order at all — engines may enumerate internal
+/// hash tables while issuing same-instant ops (e.g. a bulk erase touching
+/// many chips), and byte-identical traces across runs and `--jobs` levels
+/// require that such ties land deterministically.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by(|a, b| canonical_key(a).cmp(&canonical_key(b)));
+}
+
+/// Total-order key for [`sort_events`]: timestamp, event-kind rank, then
+/// enough fields to discriminate any two distinct events (span ids and
+/// request seqs are unique per trace; flash ops are told apart by chip,
+/// completion, op and cause — two ops identical in all of those render
+/// identical lines, so their relative order cannot matter).
+fn canonical_key(e: &TraceEvent) -> (u64, u8, u64, u64, u64, &str, &str) {
+    match e {
+        TraceEvent::FlashOp {
+            op,
+            cause,
+            chip,
+            issued,
+            start,
+            done,
+            ..
+        } => (
+            *issued,
+            0,
+            *done,
+            u64::from(*chip),
+            *start,
+            op.as_str(),
+            cause.as_str(),
+        ),
+        TraceEvent::Span { id, start, .. } => (*start, 1, *id, 0, 0, "", ""),
+        TraceEvent::Request { seq, issued, .. } => (*issued, 2, *seq, 0, 0, "", ""),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export
+// ---------------------------------------------------------------------------
+
+/// Renders the JSONL header line (without trailing newline).
+pub fn jsonl_header() -> String {
+    format!(
+        "{{\"event\":\"header\",\"schema_version\":{},\"clock\":\"virtual-ns\"}}",
+        TRACE_SCHEMA_VERSION
+    )
+}
+
+/// Renders a point-marker line: all following event lines (until the next
+/// marker) belong to the named experiment point.
+pub fn jsonl_point(key: &str) -> String {
+    format!("{{\"event\":\"point\",\"key\":\"{}\"}}", esc(key))
+}
+
+/// Renders one event line (without trailing newline). Field order is
+/// fixed so traces are byte-comparable.
+pub fn jsonl_event(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::FlashOp {
+            op,
+            cause,
+            chip,
+            channel,
+            issued,
+            start,
+            done,
+            retries,
+        } => format!(
+            "{{\"event\":\"flash\",\"op\":\"{}\",\"cause\":\"{}\",\"chip\":{},\
+             \"channel\":{},\"issued\":{},\"start\":{},\"done\":{},\"retries\":{}}}",
+            esc(op),
+            esc(cause),
+            chip,
+            channel,
+            issued,
+            start,
+            done,
+            retries
+        ),
+        TraceEvent::Span {
+            kind,
+            label,
+            level,
+            id,
+            start,
+            end,
+            pages_read,
+            pages_written,
+        } => format!(
+            "{{\"event\":\"span\",\"kind\":\"{}\",\"label\":\"{}\",\"level\":{},\
+             \"id\":{},\"start\":{},\"end\":{},\"pages_read\":{},\"pages_written\":{}}}",
+            esc(kind),
+            esc(label),
+            level,
+            id,
+            start,
+            end,
+            pages_read,
+            pages_written
+        ),
+        TraceEvent::Request {
+            op,
+            seq,
+            issued,
+            done,
+            found,
+            flash_reads,
+            phases,
+        } => format!(
+            "{{\"event\":\"request\",\"op\":\"{}\",\"seq\":{},\"issued\":{},\
+             \"done\":{},\"found\":{},\"flash_reads\":{},\"queue_wait\":{},\
+             \"meta_read\":{},\"data_read\":{},\"log_read\":{},\"engine\":{}}}",
+            esc(op),
+            seq,
+            issued,
+            done,
+            found,
+            flash_reads,
+            phases.queue_wait,
+            phases.meta_read,
+            phases.data_read,
+            phases.log_read,
+            phases.engine
+        ),
+    }
+}
+
+/// Renders a whole trace document — header line, then for each point a
+/// marker line followed by its events — as JSONL.
+pub fn write_jsonl(points: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&jsonl_header());
+    out.push('\n');
+    for (key, events) in points {
+        out.push_str(&jsonl_point(key));
+        out.push('\n');
+        for e in events {
+            out.push_str(&jsonl_event(e));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event (Perfetto) export
+// ---------------------------------------------------------------------------
+
+/// Formats virtual ns as the microsecond decimal Chrome's `ts`/`dur`
+/// fields expect, without going through floats (exact, deterministic).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn chrome_push(out: &mut String, first: &mut bool, line: &str) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str(line);
+}
+
+/// Renders a trace as Chrome trace-event JSON, loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Track layout per experiment point (one Perfetto "process" per point):
+/// tid 0 carries requests as async begin/end pairs, tid 1 carries engine
+/// spans (flush/compaction/GC) as complete events, and tid `2 + chip`
+/// carries that chip's flash ops, named by cause. Each engine span also
+/// emits a flow arrow (`s`/`f`) to the first flash op it caused, so
+/// Perfetto draws the interference visually.
+pub fn write_chrome(points: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (pid, (key, events)) in points.iter().enumerate() {
+        chrome_push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                esc(key)
+            ),
+        );
+        for (tid, name) in [(0u64, "requests"), (1, "engine")] {
+            chrome_push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    pid, tid, name
+                ),
+            );
+        }
+        let mut chips: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FlashOp { chip, .. } => Some(*chip),
+                _ => None,
+            })
+            .collect();
+        chips.sort_unstable();
+        chips.dedup();
+        for chip in &chips {
+            chrome_push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                     \"args\":{{\"name\":\"chip {}\"}}}}",
+                    pid,
+                    2 + u64::from(*chip),
+                    chip
+                ),
+            );
+        }
+        for e in events {
+            match e {
+                TraceEvent::FlashOp {
+                    op,
+                    cause,
+                    chip,
+                    channel,
+                    issued,
+                    start,
+                    done,
+                    retries,
+                } => chrome_push(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"{}\",\"cat\":\"flash\",\"ph\":\"X\",\"pid\":{},\
+                         \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"op\":\"{}\",\
+                         \"channel\":{},\"stall_ns\":{},\"retries\":{}}}}}",
+                        esc(cause),
+                        pid,
+                        2 + u64::from(*chip),
+                        us(*start),
+                        us(done.saturating_sub(*start)),
+                        esc(op),
+                        channel,
+                        start.saturating_sub(*issued),
+                        retries
+                    ),
+                ),
+                TraceEvent::Span {
+                    kind,
+                    label,
+                    level,
+                    id,
+                    start,
+                    end,
+                    pages_read,
+                    pages_written,
+                } => {
+                    chrome_push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{}:{}\",\"cat\":\"engine\",\"ph\":\"X\",\
+                             \"pid\":{},\"tid\":1,\"ts\":{},\"dur\":{},\
+                             \"args\":{{\"level\":{},\"pages_read\":{},\
+                             \"pages_written\":{}}}}}",
+                            esc(kind),
+                            esc(label),
+                            pid,
+                            us(*start),
+                            us(end.saturating_sub(*start)),
+                            level,
+                            pages_read,
+                            pages_written
+                        ),
+                    );
+                    // Flow arrow from the span to the first flash op it
+                    // caused (matched by cause prefix inside the window).
+                    let prefix = match kind.as_str() {
+                        "gc" => "gc-",
+                        "flush" => "log-",
+                        _ => "compaction-",
+                    };
+                    let target = events.iter().find_map(|f| match f {
+                        TraceEvent::FlashOp {
+                            cause,
+                            chip,
+                            start: fs,
+                            ..
+                        } if cause.starts_with(prefix) && *fs >= *start && *fs < *end => {
+                            Some((*chip, *fs))
+                        }
+                        _ => None,
+                    });
+                    if let Some((chip, fs)) = target {
+                        chrome_push(
+                            &mut out,
+                            &mut first,
+                            &format!(
+                                "{{\"name\":\"{}\",\"cat\":\"bg-flow\",\"ph\":\"s\",\
+                                 \"pid\":{},\"tid\":1,\"ts\":{},\"id\":{}}}",
+                                esc(kind),
+                                pid,
+                                us(*start),
+                                id
+                            ),
+                        );
+                        chrome_push(
+                            &mut out,
+                            &mut first,
+                            &format!(
+                                "{{\"name\":\"{}\",\"cat\":\"bg-flow\",\"ph\":\"f\",\
+                                 \"bp\":\"e\",\"pid\":{},\"tid\":{},\"ts\":{},\"id\":{}}}",
+                                esc(kind),
+                                pid,
+                                2 + u64::from(chip),
+                                us(fs),
+                                id
+                            ),
+                        );
+                    }
+                }
+                TraceEvent::Request {
+                    op,
+                    seq,
+                    issued,
+                    done,
+                    found,
+                    flash_reads,
+                    phases,
+                } => {
+                    chrome_push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"b\",\
+                             \"pid\":{},\"tid\":0,\"ts\":{},\"id\":{}}}",
+                            esc(op),
+                            pid,
+                            us(*issued),
+                            seq
+                        ),
+                    );
+                    chrome_push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"e\",\
+                             \"pid\":{},\"tid\":0,\"ts\":{},\"id\":{},\
+                             \"args\":{{\"found\":{},\"flash_reads\":{},\
+                             \"queue_wait\":{},\"meta_read\":{},\"data_read\":{},\
+                             \"log_read\":{},\"engine\":{}}}}}",
+                            esc(op),
+                            pid,
+                            us(*done),
+                            seq,
+                            found,
+                            flash_reads,
+                            phases.queue_wait,
+                            phases.meta_read,
+                            phases.data_read,
+                            phases.log_read,
+                            phases.engine
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing
+// ---------------------------------------------------------------------------
+
+/// A trace parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// 1-based line number in the JSONL document.
+    pub line: usize,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+/// A parsed trace document: schema version plus per-point event streams,
+/// in document order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedTrace {
+    /// Schema version from the header line.
+    pub schema_version: u64,
+    /// `(point key, events)` in document order.
+    pub points: Vec<(String, Vec<TraceEvent>)>,
+}
+
+/// One scalar value inside a flat JSONL event line.
+enum Scalar {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+impl Scalar {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line into `(key, scalar)` pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let skip_ws = |pos: &mut usize| {
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            *pos += 1;
+        }
+    };
+    let eat = |pos: &mut usize, c: u8| -> Result<(), String> {
+        skip_ws(pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    };
+    let string = |pos: &mut usize| -> Result<String, String> {
+        skip_ws(pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut s = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = bytes.get(*pos + 1..*pos + 5);
+                            let code = hex
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match code {
+                                Some(c) => {
+                                    s.push(c);
+                                    *pos += 4;
+                                }
+                                None => return Err("bad \\u escape".into()),
+                            }
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c < 0x80 => {
+                    s.push(c as char);
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multibyte UTF-8: find the char boundary via &str.
+                    let rest = &line[*pos..];
+                    match rest.chars().next() {
+                        Some(c) => {
+                            s.push(c);
+                            *pos += c.len_utf8();
+                        }
+                        None => return Err("invalid utf-8".into()),
+                    }
+                }
+            }
+        }
+    };
+    eat(&mut pos, b'{')?;
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        let key = string(&mut pos)?;
+        eat(&mut pos, b':')?;
+        skip_ws(&mut pos);
+        let val = match bytes.get(pos) {
+            Some(b'"') => Scalar::Str(string(&mut pos)?),
+            Some(b't') if bytes[pos..].starts_with(b"true") => {
+                pos += 4;
+                Scalar::Bool(true)
+            }
+            Some(b'f') if bytes[pos..].starts_with(b"false") => {
+                pos += 5;
+                Scalar::Bool(false)
+            }
+            Some(b) if b.is_ascii_digit() => {
+                let start = pos;
+                while bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                    pos += 1;
+                }
+                let text = &line[start..pos];
+                Scalar::Num(
+                    text.parse::<u64>()
+                        .map_err(|_| format!("bad number '{text}'"))?,
+                )
+            }
+            _ => return Err(format!("expected value at byte {pos}")),
+        };
+        out.push((key, val));
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(out),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Scalar)], name: &str) -> Option<&'a Scalar> {
+    fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, Scalar)], name: &str) -> Result<String, String> {
+    field(fields, name)
+        .and_then(Scalar::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{name}'"))
+}
+
+fn num_field(fields: &[(String, Scalar)], name: &str) -> Result<u64, String> {
+    field(fields, name)
+        .and_then(Scalar::as_num)
+        .ok_or_else(|| format!("missing numeric field '{name}'"))
+}
+
+fn u32_field(fields: &[(String, Scalar)], name: &str) -> Result<u32, String> {
+    u32::try_from(num_field(fields, name)?).map_err(|_| format!("field '{name}' exceeds u32"))
+}
+
+/// Parses a JSONL trace document produced by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] on malformed lines, a missing or
+/// incompatible header, or events appearing before the first point marker.
+pub fn parse_jsonl(src: &str) -> Result<ParsedTrace, TraceParseError> {
+    let mut out = ParsedTrace::default();
+    let mut saw_header = false;
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields =
+            parse_flat_object(line).map_err(|msg| TraceParseError { msg, line: lineno })?;
+        let mk_err = |msg: String| TraceParseError { msg, line: lineno };
+        let event = str_field(&fields, "event").map_err(mk_err)?;
+        let mk_err = |msg: String| TraceParseError { msg, line: lineno };
+        match event.as_str() {
+            "header" => {
+                out.schema_version = num_field(&fields, "schema_version").map_err(mk_err)?;
+                if out.schema_version != TRACE_SCHEMA_VERSION {
+                    return Err(TraceParseError {
+                        msg: format!(
+                            "unsupported trace schema {} (expected {})",
+                            out.schema_version, TRACE_SCHEMA_VERSION
+                        ),
+                        line: lineno,
+                    });
+                }
+                saw_header = true;
+            }
+            "point" => {
+                let key = str_field(&fields, "key").map_err(mk_err)?;
+                out.points.push((key, Vec::new()));
+            }
+            kind @ ("flash" | "span" | "request") => {
+                if !saw_header {
+                    return Err(TraceParseError {
+                        msg: "event before header line".into(),
+                        line: lineno,
+                    });
+                }
+                let ev = match kind {
+                    "flash" => TraceEvent::FlashOp {
+                        op: str_field(&fields, "op").map_err(mk_err)?,
+                        cause: str_field(&fields, "cause").map_err(mk_err)?,
+                        chip: u32_field(&fields, "chip").map_err(mk_err)?,
+                        channel: u32_field(&fields, "channel").map_err(mk_err)?,
+                        issued: num_field(&fields, "issued").map_err(mk_err)?,
+                        start: num_field(&fields, "start").map_err(mk_err)?,
+                        done: num_field(&fields, "done").map_err(mk_err)?,
+                        retries: u32_field(&fields, "retries").map_err(mk_err)?,
+                    },
+                    "span" => TraceEvent::Span {
+                        kind: str_field(&fields, "kind").map_err(mk_err)?,
+                        label: str_field(&fields, "label").map_err(mk_err)?,
+                        level: u32_field(&fields, "level").map_err(mk_err)?,
+                        id: num_field(&fields, "id").map_err(mk_err)?,
+                        start: num_field(&fields, "start").map_err(mk_err)?,
+                        end: num_field(&fields, "end").map_err(mk_err)?,
+                        pages_read: num_field(&fields, "pages_read").map_err(mk_err)?,
+                        pages_written: num_field(&fields, "pages_written").map_err(mk_err)?,
+                    },
+                    _ => TraceEvent::Request {
+                        op: str_field(&fields, "op").map_err(mk_err)?,
+                        seq: num_field(&fields, "seq").map_err(mk_err)?,
+                        issued: num_field(&fields, "issued").map_err(mk_err)?,
+                        done: num_field(&fields, "done").map_err(mk_err)?,
+                        found: field(&fields, "found")
+                            .and_then(Scalar::as_bool)
+                            .ok_or_else(|| mk_err("missing bool field 'found'".into()))?,
+                        flash_reads: u32_field(&fields, "flash_reads").map_err(mk_err)?,
+                        phases: PhaseBreakdown {
+                            queue_wait: num_field(&fields, "queue_wait").map_err(mk_err)?,
+                            meta_read: num_field(&fields, "meta_read").map_err(mk_err)?,
+                            data_read: num_field(&fields, "data_read").map_err(mk_err)?,
+                            log_read: num_field(&fields, "log_read").map_err(mk_err)?,
+                            engine: num_field(&fields, "engine").map_err(mk_err)?,
+                        },
+                    },
+                };
+                match out.points.last_mut() {
+                    Some((_, events)) => events.push(ev),
+                    None => {
+                        return Err(TraceParseError {
+                            msg: "event before first point marker".into(),
+                            line: lineno,
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(TraceParseError {
+                    msg: format!("unknown event kind '{other}'"),
+                    line: lineno,
+                })
+            }
+        }
+    }
+    if !saw_header {
+        return Err(TraceParseError {
+            msg: "missing header line".into(),
+            line: 0,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Analysis (`xtask trace`)
+// ---------------------------------------------------------------------------
+
+/// Per-cause interference totals over a trace's flash ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CauseTotal {
+    /// Cause tag (`host-read`, `compaction-write`, ...).
+    pub cause: String,
+    /// Number of flash ops with this cause.
+    pub ops: u64,
+    /// Total chip-busy time (`done − start`) in virtual ns.
+    pub busy_ns: u64,
+    /// Total queueing stall (`start − issued`) in virtual ns.
+    pub stall_ns: u64,
+}
+
+/// One of the longest flash queueing stalls in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Stall length (`start − issued`) in virtual ns.
+    pub stall_ns: u64,
+    /// Cause tag of the stalled op.
+    pub cause: String,
+    /// Chip the op eventually ran on.
+    pub chip: u32,
+    /// Virtual ns the op was issued.
+    pub issued: u64,
+    /// Key of the experiment point the op belongs to.
+    pub point: String,
+}
+
+/// Summary statistics extracted from a parsed trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Schema version of the analyzed document.
+    pub schema_version: u64,
+    /// Number of experiment points in the trace.
+    pub points: usize,
+    /// Total flash-op events.
+    pub flash_ops: u64,
+    /// Total engine span events.
+    pub spans: u64,
+    /// Total request events.
+    pub requests: u64,
+    /// Per-phase latency histograms over all request events.
+    pub phases: PhaseHists,
+    /// The top-K longest flash stall windows, longest first.
+    pub stalls: Vec<StallWindow>,
+    /// Per-cause totals, sorted by busy time descending.
+    pub causes: Vec<CauseTotal>,
+}
+
+/// Analyzes a parsed trace: per-phase latency distributions, the `top_k`
+/// longest flash stall windows, and per-cause interference totals.
+pub fn analyze(trace: &ParsedTrace, top_k: usize) -> TraceAnalysis {
+    let mut a = TraceAnalysis {
+        schema_version: trace.schema_version,
+        points: trace.points.len(),
+        ..TraceAnalysis::default()
+    };
+    let mut causes: Vec<CauseTotal> = Vec::new();
+    let mut stalls: Vec<StallWindow> = Vec::new();
+    for (key, events) in &trace.points {
+        for e in events {
+            match e {
+                TraceEvent::FlashOp {
+                    cause,
+                    chip,
+                    issued,
+                    start,
+                    done,
+                    ..
+                } => {
+                    a.flash_ops += 1;
+                    let busy = done.saturating_sub(*start);
+                    let stall = start.saturating_sub(*issued);
+                    match causes.iter_mut().find(|c| c.cause == *cause) {
+                        Some(c) => {
+                            c.ops += 1;
+                            c.busy_ns = c.busy_ns.saturating_add(busy);
+                            c.stall_ns = c.stall_ns.saturating_add(stall);
+                        }
+                        None => causes.push(CauseTotal {
+                            cause: cause.clone(),
+                            ops: 1,
+                            busy_ns: busy,
+                            stall_ns: stall,
+                        }),
+                    }
+                    if stall > 0 {
+                        stalls.push(StallWindow {
+                            stall_ns: stall,
+                            cause: cause.clone(),
+                            chip: *chip,
+                            issued: *issued,
+                            point: key.clone(),
+                        });
+                    }
+                }
+                TraceEvent::Span { .. } => a.spans += 1,
+                TraceEvent::Request { phases, .. } => {
+                    a.requests += 1;
+                    a.phases.record(phases);
+                }
+            }
+        }
+    }
+    // Longest first; ties broken deterministically by (issued, chip).
+    stalls.sort_by(|x, y| {
+        y.stall_ns
+            .cmp(&x.stall_ns)
+            .then(x.issued.cmp(&y.issued))
+            .then(x.chip.cmp(&y.chip))
+    });
+    stalls.truncate(top_k);
+    causes.sort_by(|x, y| y.busy_ns.cmp(&x.busy_ns).then(x.cause.cmp(&y.cause)));
+    a.stalls = stalls;
+    a.causes = causes;
+    a
+}
+
+impl fmt::Display for TraceAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} point(s), {} flash ops, {} spans, {} requests (schema v{})",
+            self.points, self.flash_ops, self.spans, self.requests, self.schema_version
+        )?;
+        writeln!(f)?;
+        writeln!(f, "per-request phase latency (virtual ns):")?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>12} {:>12} {:>16}",
+            "phase", "p50", "p99", "p999", "total"
+        )?;
+        for (name, hist) in self.phases.named() {
+            writeln!(
+                f,
+                "  {:<12} {:>12} {:>12} {:>12} {:>16}",
+                name,
+                hist.p50(),
+                hist.p99(),
+                hist.p999(),
+                hist.total()
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "top {} flash stall windows (dispatch − issue):",
+            self.stalls.len()
+        )?;
+        writeln!(
+            f,
+            "  {:>12} {:<18} {:>5} {:>14}  {}",
+            "stall_ns", "cause", "chip", "issued_ns", "point"
+        )?;
+        for s in &self.stalls {
+            writeln!(
+                f,
+                "  {:>12} {:<18} {:>5} {:>14}  {}",
+                s.stall_ns, s.cause, s.chip, s.issued, s.point
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "per-cause interference totals:")?;
+        writeln!(
+            f,
+            "  {:<18} {:>10} {:>16} {:>16}",
+            "cause", "ops", "busy_ns", "stall_ns"
+        )?;
+        for c in &self.causes {
+            writeln!(
+                f,
+                "  {:<18} {:>10} {:>16} {:>16}",
+                c.cause, c.ops, c.busy_ns, c.stall_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::FlashOp {
+                op: "read".into(),
+                cause: "host-read".into(),
+                chip: 3,
+                channel: 1,
+                issued: 100,
+                start: 150,
+                done: 250,
+                retries: 0,
+            },
+            TraceEvent::Span {
+                kind: "compaction".into(),
+                label: "keep".into(),
+                level: 1,
+                id: 7,
+                start: 90,
+                end: 900,
+                pages_read: 12,
+                pages_written: 8,
+            },
+            TraceEvent::FlashOp {
+                op: "program".into(),
+                cause: "compaction-write".into(),
+                chip: 0,
+                channel: 0,
+                issued: 200,
+                start: 400,
+                done: 700,
+                retries: 1,
+            },
+            TraceEvent::Request {
+                op: "get".into(),
+                seq: 0,
+                issued: 100,
+                done: 260,
+                found: true,
+                flash_reads: 1,
+                phases: PhaseBreakdown {
+                    queue_wait: 50,
+                    meta_read: 0,
+                    data_read: 100,
+                    log_read: 0,
+                    engine: 10,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn phase_breakdown_residual_is_exact() {
+        let mut pb = PhaseBreakdown {
+            meta_read: 10,
+            data_read: 20,
+            log_read: 5,
+            engine: 3,
+            ..PhaseBreakdown::default()
+        };
+        pb.finish(100);
+        assert_eq!(pb.queue_wait, 62);
+        assert_eq!(pb.total(), 100);
+        // Attribution overshooting latency clamps to zero instead of
+        // wrapping.
+        let mut pb2 = PhaseBreakdown {
+            engine: 10,
+            ..PhaseBreakdown::default()
+        };
+        pb2.finish(5);
+        assert_eq!(pb2.queue_wait, 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let doc = write_jsonl(&[("fig10/Zippy/AnyKey+".to_string(), sample_events())]);
+        let parsed = parse_jsonl(&doc).unwrap();
+        assert_eq!(parsed.schema_version, TRACE_SCHEMA_VERSION);
+        assert_eq!(parsed.points.len(), 1);
+        assert_eq!(parsed.points[0].0, "fig10/Zippy/AnyKey+");
+        assert_eq!(parsed.points[0].1, sample_events());
+        // Re-serializing the parse gives the same bytes.
+        assert_eq!(write_jsonl(&parsed.points), doc);
+    }
+
+    #[test]
+    fn jsonl_escapes_point_keys() {
+        let doc = write_jsonl(&[("we\"ird\nkey".to_string(), Vec::new())]);
+        let parsed = parse_jsonl(&doc).unwrap();
+        assert_eq!(parsed.points[0].0, "we\"ird\nkey");
+    }
+
+    #[test]
+    fn parse_rejects_missing_header() {
+        let err = parse_jsonl("{\"event\":\"point\",\"key\":\"x\"}\n").unwrap_err();
+        assert!(err.msg.contains("header"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let doc = "{\"event\":\"header\",\"schema_version\":99}\n";
+        let err = parse_jsonl(doc).unwrap_err();
+        assert!(err.msg.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_event_outside_point() {
+        let doc = format!("{}\n{}\n", jsonl_header(), jsonl_event(&sample_events()[0]));
+        let err = parse_jsonl(&doc).unwrap_err();
+        assert!(err.msg.contains("point marker"), "{err}");
+    }
+
+    #[test]
+    fn analysis_totals_and_stalls() {
+        let trace = ParsedTrace {
+            schema_version: TRACE_SCHEMA_VERSION,
+            points: vec![("p".to_string(), sample_events())],
+        };
+        let a = analyze(&trace, 10);
+        assert_eq!(a.flash_ops, 2);
+        assert_eq!(a.spans, 1);
+        assert_eq!(a.requests, 1);
+        // Longest stall first: compaction-write waited 200 ns, host-read 50.
+        assert_eq!(a.stalls.len(), 2);
+        assert_eq!(a.stalls[0].cause, "compaction-write");
+        assert_eq!(a.stalls[0].stall_ns, 200);
+        assert_eq!(a.stalls[1].stall_ns, 50);
+        // Causes sorted by busy time: compaction-write 300 > host-read 100.
+        assert_eq!(a.causes[0].cause, "compaction-write");
+        assert_eq!(a.causes[0].busy_ns, 300);
+        assert_eq!(a.causes[1].cause, "host-read");
+        assert_eq!(a.causes[1].stall_ns, 50);
+        // Phase hists saw the one request.
+        assert_eq!(a.phases.data_read.count(), 1);
+        assert_eq!(a.phases.data_read.total(), 100);
+        // Report renders without panicking and mentions the cause.
+        let text = a.to_string();
+        assert!(text.contains("compaction-write"));
+        assert!(text.contains("queue-wait"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let trace = ParsedTrace {
+            schema_version: TRACE_SCHEMA_VERSION,
+            points: vec![("p".to_string(), sample_events())],
+        };
+        let a = analyze(&trace, 1);
+        assert_eq!(a.stalls.len(), 1);
+        assert_eq!(a.stalls[0].stall_ns, 200);
+    }
+
+    #[test]
+    fn chrome_export_has_tracks_and_flows() {
+        let doc = write_chrome(&[("p0".to_string(), sample_events())]);
+        // Chip tracks are announced as thread_name metadata.
+        assert!(doc.contains("\"name\":\"chip 3\""));
+        assert!(doc.contains("\"name\":\"chip 0\""));
+        // The compaction span links to its compaction-write op.
+        assert!(doc.contains("\"ph\":\"s\""));
+        assert!(doc.contains("\"ph\":\"f\""));
+        // Request async pair present.
+        assert!(doc.contains("\"ph\":\"b\""));
+        assert!(doc.contains("\"ph\":\"e\""));
+        // Microsecond timestamps keep sub-us precision as decimals.
+        assert!(doc.contains("\"ts\":0.150"));
+        // Valid JSON array bracketing (cheap sanity, not a JSON parser).
+        assert!(doc.starts_with("[\n"));
+        assert!(doc.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn sort_events_is_stable_by_timestamp() {
+        let mut evs = sample_events();
+        sort_events(&mut evs);
+        let ts: Vec<u64> = evs.iter().map(TraceEvent::ts).collect();
+        assert_eq!(ts, vec![90, 100, 100, 200]);
+        // The two ts=100 events keep their original relative order
+        // (flash op recorded before the request).
+        assert!(matches!(evs[1], TraceEvent::FlashOp { .. }));
+        assert!(matches!(evs[2], TraceEvent::Request { .. }));
+    }
+}

@@ -51,13 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}:", kind.label());
         println!(
             "  GET  p50 {:>9}  p95 {:>9}",
-            fmt_ns(gets.quantile(0.5)),
-            fmt_ns(gets.quantile(0.95))
+            fmt_ns(gets.p50()),
+            fmt_ns(gets.p95())
         );
         println!(
             "  SCAN p50 {:>9}  p95 {:>9}  ({} entries returned)",
-            fmt_ns(scans.quantile(0.5)),
-            fmt_ns(scans.quantile(0.95)),
+            fmt_ns(scans.p50()),
+            fmt_ns(scans.p95()),
             scanned
         );
         println!(

@@ -47,13 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ops = OpStreamBuilder::new(tenant, keyspace).seed(22).build();
             let n = (half / tenant.pair_bytes()).max(50_000);
             let report = run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH)?;
-            p95[i] = report.reads.quantile(0.95);
+            p95[i] = report.reads.p95();
             println!(
                 "{:>8} {:>9}  {:>10} {:>10}  {:>9.1}",
                 tenant.name,
                 kind.label(),
-                fmt_ns(report.reads.quantile(0.95)),
-                fmt_ns(report.reads.quantile(0.99)),
+                fmt_ns(report.reads.p95()),
+                fmt_ns(report.reads.p99()),
                 report.iops() / 1000.0
             );
         }

@@ -43,9 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>8}  {:>10} {:>10} {:>10} {:>10} {:>9.1}",
             kind.label(),
-            fmt_ns(report.reads.quantile(0.50)),
-            fmt_ns(report.reads.quantile(0.95)),
-            fmt_ns(report.reads.quantile(0.99)),
+            fmt_ns(report.reads.p50()),
+            fmt_ns(report.reads.p95()),
+            fmt_ns(report.reads.p99()),
             fmt_ns(report.reads.max()),
             report.iops() / 1000.0,
         );

@@ -1,9 +1,14 @@
 #!/usr/bin/env sh
 # Tier-1 verification: everything here must pass offline, with no
-# dependencies outside this repository.
+# dependencies outside this repository. All scratch output lands under
+# target/verify/ (covered by .gitignore's /target).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+VERIFY_DIR=target/verify
+rm -rf "$VERIFY_DIR"
+mkdir -p "$VERIFY_DIR"
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -20,12 +25,23 @@ cargo test -q --test fault_determinism
 echo "==> scheduler determinism suite"
 cargo test -q --test scheduler_determinism
 
+echo "==> trace determinism suite"
+cargo test -q --test trace_determinism
+
 echo "==> bench smoke: fault sweep at --jobs 1 and --jobs 2 must agree"
-cargo run -q --release -p anykey-bench -- fault --quick --jobs 1 --out target/verify-results/j1
-cargo run -q --release -p anykey-bench -- fault --quick --jobs 2 --out target/verify-results/j2
-cmp target/verify-results/j1/fault.csv target/verify-results/j2/fault.csv
+cargo run -q --release -p anykey-bench -- fault --quick --jobs 1 \
+    --out "$VERIFY_DIR/j1" --trace "$VERIFY_DIR/j1/trace.jsonl"
+cargo run -q --release -p anykey-bench -- fault --quick --jobs 2 \
+    --out "$VERIFY_DIR/j2" --trace "$VERIFY_DIR/j2/trace.jsonl"
+cmp "$VERIFY_DIR/j1/fault.csv" "$VERIFY_DIR/j2/fault.csv"
 cargo run -q --release -p xtask -- bench-diff \
-    target/verify-results/j1/summary.json target/verify-results/j2/summary.json
+    "$VERIFY_DIR/j1/summary.json" "$VERIFY_DIR/j2/summary.json"
+
+echo "==> trace smoke: --jobs 1 and --jobs 2 traces must be byte-identical"
+cmp "$VERIFY_DIR/j1/trace.jsonl" "$VERIFY_DIR/j2/trace.jsonl"
+cargo run -q -p xtask -- trace "$VERIFY_DIR/j1/trace.jsonl" \
+    > "$VERIFY_DIR/trace-report.txt"
+head -n 5 "$VERIFY_DIR/trace-report.txt"
 
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint

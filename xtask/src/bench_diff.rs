@@ -29,6 +29,13 @@ fn load(path: &str) -> Result<ParsedSummary, String> {
     parse(&src).map_err(|e| format!("{path}: {e}"))
 }
 
+fn schema_of(s: &ParsedSummary) -> &str {
+    s.fields
+        .iter()
+        .find(|(n, _)| n == "schema_version")
+        .map_or("(absent)", |(_, v)| v.as_str())
+}
+
 fn print_report(report: &DiffReport, baseline: &str, candidate: &str) {
     if report.pass() {
         println!(
@@ -105,6 +112,19 @@ pub fn run_cli(args: &[String]) -> i32 {
             return 2;
         }
     };
+
+    // Different schema versions are incomparable documents, not a perf
+    // regression: fail loudly with the versions rather than drowning the
+    // user in per-field noise.
+    let (bs, cs) = (schema_of(&baseline), schema_of(&candidate));
+    if bs != cs {
+        eprintln!(
+            "bench-diff: schema_version mismatch — baseline {baseline_path} has {bs}, \
+             candidate {candidate_path} has {cs}; regenerate the baseline with the \
+             current anykey-bench before comparing"
+        );
+        return 2;
+    }
 
     let report = diff(&baseline, &candidate, wall_band);
     print_report(&report, baseline_path, candidate_path);

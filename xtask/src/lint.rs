@@ -1,7 +1,7 @@
 //! Repo-specific static checks that clippy cannot express.
 //!
-//! `cargo run -p xtask -- lint` walks `crates/**/*.rs` and `tests/**/*.rs`
-//! and enforces:
+//! `cargo run -p xtask -- lint` walks `crates/**/*.rs`, `tests/**/*.rs`
+//! and `xtask/src/**/*.rs` and enforces:
 //!
 //! - **no-panic** (`rule a`): no `.unwrap()` / `.expect(` / `panic!` in
 //!   non-`#[cfg(test)]` code of `anykey-core` and `anykey-flash`; fallible
@@ -19,6 +19,12 @@
 //! - **deps-hermetic** (`rule e`, also `lint --deps`): no external (registry)
 //!   dependency may enter any workspace `Cargo.toml`; everything must be an
 //!   in-workspace path dependency.
+//! - **trace-no-wall-clock** (`rule f`): any file with `trace` in its path
+//!   (trace recorders, exporters, the analyzer, trace tests — wherever it
+//!   lives, including `xtask`) must never mention `SystemTime`, `Instant`
+//!   or `std::time`, even in test code. Trace timestamps are virtual `Ns`
+//!   so traces stay byte-identical across runs and `--jobs` levels; a
+//!   single wall-clock stamp would break that.
 //!
 //! The scanner is line-based on comment/string-stripped source: precise
 //! enough for these rules, fast, and dependency-free. Every rule is
@@ -66,6 +72,8 @@ pub enum Rule {
     DocPublic,
     /// No external dependencies in any manifest.
     DepsHermetic,
+    /// No wall-clock constructs anywhere in trace code (even tests).
+    TraceNoWallClock,
 }
 
 impl Rule {
@@ -77,6 +85,7 @@ impl Rule {
             Rule::NoWallClock => "no-wall-clock",
             Rule::DocPublic => "doc-public",
             Rule::DepsHermetic => "deps-hermetic",
+            Rule::TraceNoWallClock => "trace-no-wall-clock",
         }
     }
 }
@@ -164,6 +173,12 @@ fn strip_noise(src: &str) -> String {
             }
             St::Str => {
                 if c == '\\' {
+                    // A backslash-newline continuation still occupies a
+                    // source line: keep the newline so line numbers stay
+                    // aligned with the original file.
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        out.push('\n');
+                    }
                     i += 2;
                 } else if c == '"' {
                     st = St::Code;
@@ -305,6 +320,7 @@ struct Scope {
     no_bare_cast: bool,
     no_wall_clock: bool,
     doc_public: bool,
+    trace_no_wall_clock: bool,
 }
 
 /// The only files allowed to touch `std::time`: wall-clock capture is
@@ -342,6 +358,9 @@ fn scope_for(rel: &str) -> Scope {
         no_wall_clock: (sim_crate || rel.starts_with("tests/"))
             && !WALL_CLOCK_ALLOWLIST.contains(&rel),
         doc_public: !whole_file_test && rel.starts_with("crates/") && rel.contains("/src/"),
+        // Path-based, not crate-based: trace code in `xtask` and `tests/`
+        // is held to the same virtual-time discipline as the recorders.
+        trace_no_wall_clock: rel.contains("trace"),
     }
 }
 
@@ -393,6 +412,20 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 i,
                 Rule::NoWallClock,
                 "wall-clock time in a simulation crate; use virtual `Ns` timestamps".to_string(),
+            );
+        }
+        // Applies even inside `#[cfg(test)]`: a wall-clock stamp anywhere in
+        // trace code breaks byte-identical traces.
+        if scope.trace_no_wall_clock
+            && ["std::time", "SystemTime", "Instant"]
+                .iter()
+                .any(|n| line.contains(n))
+        {
+            push(
+                i,
+                Rule::TraceNoWallClock,
+                "wall-clock construct in trace code; trace timestamps must be virtual `Ns`"
+                    .to_string(),
             );
         }
     }
@@ -562,6 +595,7 @@ pub fn run_cli() -> i32 {
         let mut files = Vec::new();
         walk(&root.join("crates"), "rs", &mut files);
         walk(&root.join("tests"), "rs", &mut files);
+        walk(&root.join("xtask/src"), "rs", &mut files);
         files.sort();
         for path in files {
             let Ok(src) = std::fs::read_to_string(&path) else {
@@ -731,6 +765,46 @@ mod tests {
         }
     }
 
+    // --- rule f: trace-no-wall-clock ---------------------------------------
+
+    #[test]
+    fn flags_wall_clock_in_trace_recorder() {
+        let src = "fn stamp() -> u64 {\n    let _ = std::time::SystemTime::now();\n    0\n}\n";
+        let vs = lint_source("crates/metrics/src/trace.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn flags_instant_in_trace_code_even_inside_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = Instant::now();\n    }\n}\n";
+        let vs = lint_source("xtask/src/trace_cmd.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::TraceNoWallClock]);
+        assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn trace_rule_covers_trace_integration_tests() {
+        let src = "fn t() {\n    let _ = std::time::Instant::now();\n}\n";
+        let vs = lint_source("tests/trace_determinism.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn trace_rule_ignores_non_trace_files() {
+        let src = "fn t() {\n    let _ = Instant::now();\n}\n";
+        assert!(lint_source("xtask/src/bench_diff.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn clean_trace_code_passes() {
+        let src = "/// Virtual stamp.\npub fn ts(at: u64) -> u64 {\n    at\n}\n";
+        assert!(lint_source("crates/flash/src/trace.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::TraceNoWallClock));
+    }
+
     // --- rule d: doc-public ----------------------------------------------
 
     #[test]
@@ -795,5 +869,15 @@ mod tests {
         let src = "a\n/* multi\nline */ b\n\"str\nacross\" c\n";
         let stripped = strip_noise(src);
         assert_eq!(stripped.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_noise_keeps_lines_of_string_continuations() {
+        // `"...\` at end of line is a line continuation inside the literal;
+        // the newline must survive so later line numbers stay exact.
+        let src = "let s = \"a\\\n         b\";\nfn after() {}\n";
+        let stripped = strip_noise(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert!(stripped.lines().nth(2).is_some_and(|l| l.contains("after")));
     }
 }

@@ -7,21 +7,26 @@
 //! - [`bench_diff`]: the CI perf-regression gate comparing two
 //!   `summary.json` documents from `anykey-bench` with per-metric
 //!   tolerance bands.
+//! - [`trace_cmd`]: the virtual-time trace analyzer summarizing JSONL
+//!   traces captured with `anykey-bench --trace`.
 
 mod bench_diff;
 mod lint;
+mod trace_cmd;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("lint") => lint::run_cli(),
         Some("bench-diff") => bench_diff::run_cli(&args[1..]),
+        Some("trace") => trace_cmd::run_cli(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <command>\n\
                  commands:\n\
                    lint [--deps]                         repo-specific static checks\n\
-                   bench-diff <baseline> <candidate>     summary.json regression gate"
+                   bench-diff <baseline> <candidate>     summary.json regression gate\n\
+                   trace <trace.jsonl> [--top K]         trace analyzer (phase breakdown)"
             );
             2
         }
