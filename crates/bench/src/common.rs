@@ -132,14 +132,19 @@ pub struct ExpCtx {
     /// Record raw trace events during measured phases (`--trace`). Pure
     /// observation: the simulated timings are identical either way.
     pub trace: bool,
+    /// Virtual ns between periodic state samples during measured phases
+    /// (`--timeline-interval`); 0 disables sampling entirely. Pure
+    /// observation, like tracing.
+    pub timeline_interval_ns: u64,
 }
 
 impl ExpCtx {
-    /// A context at the given scale, tracing off.
+    /// A context at the given scale, tracing and timeline sampling off.
     pub fn new(scale: Scale) -> Self {
         Self {
             scale,
             trace: false,
+            timeline_interval_ns: 0,
         }
     }
 

@@ -4,6 +4,8 @@
 //! anykey-bench <experiment|all> [--capacity-mb N] [--fill F]
 //!              [--ops-factor F] [--out DIR] [--seed S] [--jobs N] [--quick]
 //!              [--trace PATH] [--trace-format jsonl|chrome]
+//!              [--timeline PATH] [--timeline-format jsonl|csv]
+//!              [--timeline-interval NS]
 //! ```
 //!
 //! Experiments declare [`Point`](anykey_bench::Point)s; the scheduler runs
@@ -31,7 +33,11 @@ fn usage() -> ! {
            --quick           small/fast smoke scale\n\
            --trace PATH      record measured-phase trace events to PATH\n\
            --trace-format F  trace file format: jsonl (default) or chrome\n\
-                             (Chrome trace-event JSON; open in Perfetto)",
+                             (Chrome trace-event JSON; open in Perfetto)\n\
+           --timeline PATH   record periodic state-sample timelines to PATH\n\
+           --timeline-format F  timeline file format: jsonl (default) or csv\n\
+           --timeline-interval NS  virtual ns between samples (default\n\
+                             10000000 with --timeline; 0 disables sampling)",
         experiments::ids().join(" ")
     );
     std::process::exit(2)
@@ -55,6 +61,9 @@ fn main() {
     let mut jobs = 1usize;
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut trace_format = "jsonl".to_string();
+    let mut timeline_path: Option<std::path::PathBuf> = None;
+    let mut timeline_format = "jsonl".to_string();
+    let mut timeline_interval: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,6 +127,26 @@ fn main() {
                     .cloned()
                     .unwrap_or_else(|| usage());
             }
+            "--timeline" => {
+                i += 1;
+                timeline_path = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--timeline-format" => {
+                i += 1;
+                timeline_format = args
+                    .get(i)
+                    .filter(|f| matches!(f.as_str(), "jsonl" | "csv"))
+                    .cloned()
+                    .unwrap_or_else(|| usage());
+            }
+            "--timeline-interval" => {
+                i += 1;
+                timeline_interval = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--quick" => scale = scale.clone().quick(),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             _ => usage(),
@@ -133,6 +162,13 @@ fn main() {
 
     let mut ctx = ExpCtx::new(scale);
     ctx.trace = trace_path.is_some();
+    // --timeline implies a default sampling interval of 10 ms virtual;
+    // --timeline-interval 0 turns sampling off entirely (zero overhead).
+    ctx.timeline_interval_ns = match (timeline_interval, &timeline_path) {
+        (Some(ns), _) => ns,
+        (None, Some(_)) => 10_000_000,
+        (None, None) => 0,
+    };
     println!(
         "# AnyKey reproduction harness — capacity {} MiB, DRAM {} KiB (0.1%), fill {:.0}%, seed {}\n",
         ctx.scale.capacity >> 20,
@@ -206,6 +242,23 @@ fn main() {
         };
         match std::fs::write(&path, body) {
             Ok(()) => println!("  -> {} ({trace_format} trace)", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    // Timeline export: each unique simulation once, in declaration order —
+    // byte-identical for any `--jobs` value, like the trace export.
+    if let Some(path) = timeline_path {
+        let named: Vec<(String, Vec<anykey_metrics::StateSample>)> = points
+            .iter()
+            .zip(&run.results)
+            .filter_map(|(p, r)| r.timeline.as_ref().map(|t| (p.key.clone(), t.clone())))
+            .collect();
+        let body = match timeline_format.as_str() {
+            "csv" => anykey_metrics::timeline::write_csv(&named),
+            _ => anykey_metrics::timeline::write_jsonl(&named),
+        };
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("  -> {} ({timeline_format} timeline)", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }

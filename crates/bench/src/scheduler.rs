@@ -26,11 +26,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use anykey_core::runner::DEFAULT_QUEUE_DEPTH;
+use anykey_core::runner::{waf_from, DEFAULT_QUEUE_DEPTH};
 use anykey_core::{
-    run, run_traced, warm_up, DeviceConfig, EngineKind, KvError, MetadataStats, RunReport,
+    run, run_sampled, run_traced, run_traced_sampled, warm_up, DeviceConfig, EngineKind, KvError,
+    MetadataStats, RunReport, SampleCfg,
 };
 use anykey_metrics::summary::{PointSummary, RunSummary, SCHEMA_VERSION};
+use anykey_metrics::timeline::{
+    detect_steady_state, StateSample, DEFAULT_STEADY_TOL, DEFAULT_STEADY_WINDOW,
+};
 use anykey_metrics::trace::TraceEvent;
 use anykey_workload::{ops::fill_ops, KeyDist, OpStreamBuilder, WorkloadSpec};
 
@@ -157,6 +161,17 @@ pub struct PointResult {
     /// when tracing was off, for non-measure points, and for deduplicated
     /// repeats of the same simulation).
     pub trace: Option<Vec<TraceEvent>>,
+    /// Periodic state samples of the measured phase (`--timeline` only;
+    /// `None` when sampling was off, for non-measure points, and for
+    /// deduplicated repeats of the same simulation).
+    pub timeline: Option<Vec<StateSample>>,
+    /// Mean cumulative WAF over the detected steady-state window of the
+    /// measured phase, from the always-on WAF curve (0 when never settled
+    /// or no measured writes).
+    pub converged_waf: f64,
+    /// Virtual ns of burn-in before the steady-state window (0 when never
+    /// settled or not applicable).
+    pub burnin_ns: u64,
 }
 
 /// A completed scheduled sweep.
@@ -238,6 +253,7 @@ pub fn run_points(ctx: &ExpCtx, points: &[Point], jobs: usize) -> SchedulerRun {
                 .expect("scheduler slot not filled");
             if !std::mem::replace(&mut first[slot], false) {
                 r.trace = None;
+                r.timeline = None;
             }
             r
         })
@@ -254,17 +270,20 @@ pub fn run_points(ctx: &ExpCtx, points: &[Point], jobs: usize) -> SchedulerRun {
 /// Executes one point's simulation (on the calling thread) and times it.
 pub fn execute_point(ctx: &ExpCtx, point: &Point) -> PointResult {
     let t0 = Instant::now();
-    let (summary, waf, note, trace) = match &point.run {
+    let e = match &point.run {
         RunKind::Measure(m) => execute_measure(ctx, point, m),
         RunKind::WarmUpOnly { cfg } => execute_warm_up(ctx, point, cfg.clone()),
         RunKind::FillUntilFull => execute_fill(ctx, point),
     };
     PointResult {
-        summary,
-        waf,
+        summary: e.summary,
+        waf: e.waf,
         wall_secs: t0.elapsed().as_secs_f64(),
-        note,
-        trace,
+        note: e.note,
+        trace: e.trace,
+        timeline: e.timeline,
+        converged_waf: e.converged_waf,
+        burnin_ns: e.burnin_ns,
     }
 }
 
@@ -283,6 +302,7 @@ fn empty_report(at: u64) -> RunReport {
         counters: anykey_flash::FlashCounters::new(),
         reads_per_get: [0; anykey_core::runner::MAX_TRACKED_READS + 1],
         phases: anykey_metrics::trace::PhaseHists::new(),
+        waf_curve: Vec::new(),
     }
 }
 
@@ -303,7 +323,51 @@ fn waf_of(report: &RunReport, meta: &MetadataStats, spec: WorkloadSpec, cfg: &De
     report.counters.total_writes() as f64 / denom as f64
 }
 
-type Executed = (Summary, f64, Option<String>, Option<Vec<TraceEvent>>);
+/// What one point execution produced, before wall-clock timing is added.
+struct Executed {
+    summary: Summary,
+    waf: f64,
+    note: Option<String>,
+    trace: Option<Vec<TraceEvent>>,
+    timeline: Option<Vec<StateSample>>,
+    converged_waf: f64,
+    burnin_ns: u64,
+}
+
+impl Executed {
+    /// A measurement-free outcome (warm-up-only and fill points).
+    fn bare(summary: Summary, waf: f64) -> Self {
+        Self {
+            summary,
+            waf,
+            note: None,
+            trace: None,
+            timeline: None,
+            converged_waf: 0.0,
+            burnin_ns: 0,
+        }
+    }
+}
+
+/// Runs the steady-state detector over a report's always-on WAF curve
+/// (timestamps rebased to the measured-phase start) and returns
+/// `(converged_waf, burnin_ns)` — `(0, 0)` when the curve never settled.
+fn steady_metrics(report: &RunReport, pair_bytes: u64, page_payload: u64) -> (f64, u64) {
+    let curve: Vec<(u64, f64)> = report
+        .waf_curve
+        .iter()
+        .map(|w| {
+            (
+                w.ts_ns.saturating_sub(report.start),
+                waf_from(w.flash_writes, w.write_ops, pair_bytes, page_payload),
+            )
+        })
+        .collect();
+    match detect_steady_state(&curve, DEFAULT_STEADY_WINDOW, DEFAULT_STEADY_TOL) {
+        Some(s) => (s.converged_waf, s.start_ns),
+        None => (0.0, 0),
+    }
+}
 
 fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> Executed {
     let spec = point.spec;
@@ -331,16 +395,29 @@ fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> Executed {
             builder = builder.scans(ratio, len);
         }
         let ops = builder.build();
-        // Tracing is pure observation (virtual time is untouched), so the
-        // report is identical either way; only event recording differs.
-        let outcome = if ctx.trace {
-            run_traced(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH)
-                .map(|(report, events)| (report, Some(events)))
-        } else {
-            run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH).map(|report| (report, None))
+        // Tracing and sampling are pure observation (virtual time is
+        // untouched), so the report is identical in all four combinations;
+        // only what gets recorded on the side differs.
+        let sample_cfg = SampleCfg {
+            interval_ns: ctx.timeline_interval_ns,
+            pair_bytes: spec.pair_bytes(),
+            page_payload: u64::from(cfg.page_payload()),
+        };
+        let outcome = match (ctx.trace, ctx.timeline_interval_ns > 0) {
+            (false, false) => {
+                run(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH).map(|report| (report, None, None))
+            }
+            (true, false) => run_traced(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH)
+                .map(|(report, events)| (report, Some(events), None)),
+            (false, true) => run_sampled(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH, &sample_cfg)
+                .map(|(report, samples)| (report, None, Some(samples))),
+            (true, true) => {
+                run_traced_sampled(dev.as_mut(), ops, n, DEFAULT_QUEUE_DEPTH, &sample_cfg)
+                    .map(|(report, events, samples)| (report, Some(events), Some(samples)))
+            }
         };
         match outcome {
-            Ok((report, trace)) => {
+            Ok((report, trace, timeline)) => {
                 let note = (shrink < 1.0).then(|| {
                     format!(
                         "note: {} on {} ran at {:.0}% keyspace (device-full at target fill)",
@@ -351,13 +428,23 @@ fn execute_measure(ctx: &ExpCtx, point: &Point, m: &MeasureSpec) -> Executed {
                 });
                 let meta = dev.metadata();
                 let waf = waf_of(&report, &meta, spec, &cfg);
+                let (converged_waf, burnin_ns) =
+                    steady_metrics(&report, spec.pair_bytes(), u64::from(cfg.page_payload()));
                 let summary = Summary {
                     workload: spec.name,
                     system: point.kind,
                     report,
                     meta,
                 };
-                return (summary, waf, note, trace);
+                return Executed {
+                    summary,
+                    waf,
+                    note,
+                    trace,
+                    timeline,
+                    converged_waf,
+                    burnin_ns,
+                };
             }
             Err(_) => continue,
         }
@@ -384,7 +471,7 @@ fn execute_warm_up(ctx: &ExpCtx, point: &Point, cfg: Option<DeviceConfig>) -> Ex
         report,
         meta,
     };
-    (summary, waf, None, None)
+    Executed::bare(summary, waf)
 }
 
 fn execute_fill(ctx: &ExpCtx, point: &Point) -> Executed {
@@ -410,7 +497,7 @@ fn execute_fill(ctx: &ExpCtx, point: &Point) -> Executed {
         report,
         meta,
     };
-    (summary, waf, None, None)
+    Executed::bare(summary, waf)
 }
 
 /// Assembles the machine-readable run summary from a scheduled sweep.
@@ -435,10 +522,14 @@ pub fn build_summary(ctx: &ExpCtx, points: &[Point], run: &SchedulerRun) -> RunS
                 virtual_ns: rep.end.saturating_sub(rep.start),
                 iops: if rep.ops > 0 { rep.iops() } else { 0.0 },
                 p50_read_ns: rep.reads.p50(),
+                p95_read_ns: rep.reads.p95(),
                 p99_read_ns: rep.reads.p99(),
                 p50_write_ns: rep.writes.p50(),
+                p95_write_ns: rep.writes.p95(),
                 p99_write_ns: rep.writes.p99(),
                 waf: r.waf,
+                converged_waf: r.converged_waf,
+                burnin_ns: r.burnin_ns,
                 host_reads: c.reads(OpCause::HostRead),
                 host_writes: c.writes(OpCause::HostWrite),
                 meta_reads: c.reads(OpCause::MetaRead),

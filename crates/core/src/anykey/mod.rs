@@ -19,6 +19,7 @@ mod tests;
 use std::collections::HashMap;
 
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_metrics::timeline::{LevelSample, StateSample};
 use anykey_metrics::trace::PhaseBreakdown;
 #[cfg(feature = "trace")]
 use anykey_metrics::trace::TraceEvent;
@@ -724,6 +725,46 @@ impl KvEngine for AnyKeyStore {
             free_blocks: (self.area.free_blocks()
                 + self.log.as_ref().map_or(0, |l| l.allocator().free_count()))
                 as u64,
+        }
+    }
+
+    fn sample_state(&self) -> StateSample {
+        let meta = self.metadata();
+        let wear = self.flash.sample_state();
+        let log_capacity = self.log.as_ref().map_or(0, ValueLog::capacity_bytes);
+        let log_free = self.log.as_ref().map_or(0, ValueLog::free_bytes);
+        StateSample {
+            dram_capacity: meta.dram_capacity,
+            dram_used: meta.dram_used,
+            level_list_bytes: meta.level_list_bytes,
+            hash_list_total_bytes: meta.hash_list_total_bytes,
+            hash_list_resident_bytes: meta.hash_list_resident_bytes,
+            group_count: self
+                .levels
+                .iter()
+                .map(|l| l.groups.len() as u64)
+                .sum::<u64>(),
+            value_log_live_bytes: meta.value_log_used_bytes,
+            value_log_stale_bytes: log_capacity
+                .saturating_sub(meta.value_log_used_bytes)
+                .saturating_sub(log_free),
+            free_blocks: meta.free_blocks,
+            wear_min: wear.wear_min,
+            wear_max: wear.wear_max,
+            wear_total: wear.wear_total,
+            levels: self
+                .levels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| LevelSample {
+                    level: i as u32,
+                    entries: l.groups.len() as u64,
+                    kv_bytes: l.kv_bytes,
+                    phys_bytes: l.phys_bytes,
+                    meta_bytes: l.meta_bytes(),
+                })
+                .collect(),
+            ..StateSample::default()
         }
     }
 

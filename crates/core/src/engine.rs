@@ -1,6 +1,7 @@
 //! The engine trait every KV-SSD design implements.
 
 use anykey_flash::{FlashCounters, Ns};
+use anykey_metrics::timeline::StateSample;
 use anykey_metrics::trace::{PhaseBreakdown, TraceEvent};
 use anykey_workload::Op;
 
@@ -153,6 +154,17 @@ pub trait KvEngine {
     /// metrics model and sorted by timestamp. Default: empty.
     fn take_trace(&mut self) -> Vec<TraceEvent> {
         Vec::new()
+    }
+
+    /// Snapshots the engine-state half of a telemetry [`StateSample`]:
+    /// per-level occupancy, DRAM budget consumers, value-log live/stale
+    /// bytes, free-block depth, and erase-count spread. The runner fills
+    /// the identity, interval, and cumulative-traffic fields on top.
+    ///
+    /// Pure observation — implementations must not mutate any state.
+    /// Default: an all-zero sample, for engines without timeline support.
+    fn sample_state(&self) -> StateSample {
+        StateSample::default()
     }
 
     /// Inserts (or updates) a key at the current horizon — convenience for

@@ -21,6 +21,7 @@ mod tests;
 use std::collections::HashMap;
 
 use anykey_flash::{BlockAllocator, FlashCounters, FlashSim, Ns, OpCause, Ppa};
+use anykey_metrics::timeline::{LevelSample, StateSample};
 use anykey_metrics::trace::PhaseBreakdown;
 #[cfg(feature = "trace")]
 use anykey_metrics::trace::TraceEvent;
@@ -586,6 +587,36 @@ impl KvEngine for PinkStore {
             erase_fails: self.flash.counters().erase_fails(),
             retired_blocks: self.alloc.retired_count() as u64,
             free_blocks: self.alloc.free_count() as u64,
+        }
+    }
+
+    fn sample_state(&self) -> StateSample {
+        let meta = self.metadata();
+        let wear = self.flash.sample_state();
+        StateSample {
+            dram_capacity: meta.dram_capacity,
+            dram_used: meta.dram_used,
+            level_list_bytes: meta.level_list_bytes,
+            meta_segment_dram_bytes: meta.meta_segment_dram_bytes,
+            meta_segment_flash_bytes: meta.meta_segment_flash_bytes,
+            group_count: self.levels.iter().map(|l| l.segs.len() as u64).sum::<u64>(),
+            free_blocks: meta.free_blocks,
+            wear_min: wear.wear_min,
+            wear_max: wear.wear_max,
+            wear_total: wear.wear_total,
+            levels: self
+                .levels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| LevelSample {
+                    level: i as u32,
+                    entries: l.segs.len() as u64,
+                    kv_bytes: l.kv_bytes,
+                    phys_bytes: l.segs.iter().map(Segment::bytes).sum(),
+                    meta_bytes: l.list_bytes(),
+                })
+                .collect(),
+            ..StateSample::default()
         }
     }
 

@@ -4,7 +4,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use anykey_flash::{FlashCounters, Ns, SECOND};
+use anykey_flash::{FlashCounters, Ns, OpCause, SECOND};
+use anykey_metrics::timeline::{StateSample, WafPoint};
 use anykey_metrics::trace::{sort_events, PhaseHists, TraceEvent};
 use anykey_metrics::LatencyHist;
 use anykey_workload::Op;
@@ -18,6 +19,25 @@ pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// Maximum per-GET flash reads tracked in the Figure 11b histogram.
 pub const MAX_TRACKED_READS: usize = 9;
+
+/// Target number of points on the always-on cumulative-WAF curve every
+/// run records (op-stride sampled, so the cost is ~64 counter snapshots
+/// per stage regardless of run length).
+pub const WAF_CURVE_POINTS: u64 = 64;
+
+/// Configuration of periodic state sampling: the virtual-time interval
+/// plus the two workload constants the cumulative-WAF computation needs
+/// (so a sample's `cum_waf` uses exactly the arithmetic `summary.json`'s
+/// `waf` field uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleCfg {
+    /// Virtual ns between samples (must be > 0 to sample).
+    pub interval_ns: Ns,
+    /// Logical bytes one written key-value pair contributes.
+    pub pair_bytes: u64,
+    /// Usable payload bytes per flash page.
+    pub page_payload: u64,
+}
 
 /// Everything measured over one execution stage.
 #[derive(Debug, Clone)]
@@ -49,6 +69,11 @@ pub struct RunReport {
     /// `phase_*` fields. Always on — this is cheap aggregate arithmetic,
     /// unlike raw event tracing.
     pub phases: PhaseHists,
+    /// Op-stride cumulative-WAF curve (~[`WAF_CURVE_POINTS`] points plus a
+    /// final point that matches `counters` exactly). Always on — it feeds
+    /// the steady-state fields of `summary.json` whether or not timeline
+    /// export is enabled, keeping the summary identical either way.
+    pub waf_curve: Vec<WafPoint>,
 }
 
 impl RunReport {
@@ -96,7 +121,69 @@ pub fn run(
     n_ops: u64,
     queue_depth: usize,
 ) -> Result<RunReport, KvError> {
-    run_inner(engine, ops, n_ops, queue_depth, None)
+    run_inner(engine, ops, n_ops, queue_depth, None, None)
+}
+
+/// Like [`run`], but additionally snapshots a [`StateSample`] at every
+/// `cfg.interval_ns` of virtual time (plus one at the start and one at the
+/// end of the stage), returning the report and the sample series.
+///
+/// Sampling is pure observation — it reads engine state and counters but
+/// never touches the virtual clock, so the report is identical to what
+/// [`run`] would have produced.
+///
+/// # Errors
+///
+/// Returns [`KvError::DeviceFull`] if the device fills mid-run.
+pub fn run_sampled(
+    engine: &mut dyn KvEngine,
+    ops: impl Iterator<Item = Op>,
+    n_ops: u64,
+    queue_depth: usize,
+    cfg: &SampleCfg,
+) -> Result<(RunReport, Vec<StateSample>), KvError> {
+    let mut samples = Vec::new();
+    let report = run_inner(
+        engine,
+        ops,
+        n_ops,
+        queue_depth,
+        None,
+        Some((cfg, &mut samples)),
+    )?;
+    Ok((report, samples))
+}
+
+/// [`run_traced`] and [`run_sampled`] combined: trace-event recording and
+/// periodic state sampling over the same stage.
+///
+/// # Errors
+///
+/// Returns [`KvError::DeviceFull`] if the device fills mid-run.
+pub fn run_traced_sampled(
+    engine: &mut dyn KvEngine,
+    ops: impl Iterator<Item = Op>,
+    n_ops: u64,
+    queue_depth: usize,
+    cfg: &SampleCfg,
+) -> Result<(RunReport, Vec<TraceEvent>, Vec<StateSample>), KvError> {
+    engine.set_tracing(true);
+    let mut events = Vec::new();
+    let mut samples = Vec::new();
+    let report = run_inner(
+        engine,
+        ops,
+        n_ops,
+        queue_depth,
+        Some(&mut events),
+        Some((cfg, &mut samples)),
+    );
+    let mut merged = engine.take_trace();
+    engine.set_tracing(false);
+    let report = report?;
+    merged.append(&mut events);
+    sort_events(&mut merged);
+    Ok((report, merged, samples))
 }
 
 /// Like [`run`], but with trace-event recording enabled on the engine for
@@ -119,7 +206,7 @@ pub fn run_traced(
 ) -> Result<(RunReport, Vec<TraceEvent>), KvError> {
     engine.set_tracing(true);
     let mut events = Vec::new();
-    let report = run_inner(engine, ops, n_ops, queue_depth, Some(&mut events));
+    let report = run_inner(engine, ops, n_ops, queue_depth, Some(&mut events), None);
     let mut merged = engine.take_trace();
     engine.set_tracing(false);
     let report = report?;
@@ -137,12 +224,88 @@ fn op_name(op: &Op) -> &'static str {
     }
 }
 
+/// The interval state of periodic sampling inside [`run_inner`]: the next
+/// grid boundary plus the per-interval op count and latency histograms
+/// that reset on every emitted sample.
+struct Sampler<'a> {
+    cfg: &'a SampleCfg,
+    out: &'a mut Vec<StateSample>,
+    next_ts: Ns,
+    interval_start: Ns,
+    interval_ops: u64,
+    interval_reads: LatencyHist,
+    interval_writes: LatencyHist,
+    seq: u64,
+}
+
+impl Sampler<'_> {
+    /// Emits one sample at virtual time `ts`: engine state from
+    /// [`KvEngine::sample_state`], cumulative traffic as the counter delta
+    /// since the stage began, and the interval metrics gathered since the
+    /// previous sample (which this call resets).
+    fn emit(&mut self, engine: &dyn KvEngine, before: &FlashCounters, report: &RunReport, ts: Ns) {
+        let delta = engine.counters().since(before);
+        let mut s = engine.sample_state();
+        s.seq = self.seq;
+        s.ts_ns = ts;
+        s.interval_ops = self.interval_ops;
+        let span = ts.saturating_sub(self.interval_start).max(1);
+        s.interval_iops = self.interval_ops as f64 * SECOND as f64 / span as f64;
+        s.interval_read_p99_ns = self.interval_reads.p99();
+        s.interval_write_p99_ns = self.interval_writes.p99();
+        s.host_reads = delta.reads(OpCause::HostRead);
+        s.host_writes = delta.writes(OpCause::HostWrite);
+        s.meta_reads = delta.reads(OpCause::MetaRead);
+        s.meta_writes = delta.writes(OpCause::MetaWrite);
+        s.comp_reads = delta.reads(OpCause::CompactionRead);
+        s.comp_writes = delta.writes(OpCause::CompactionWrite);
+        s.gc_reads = delta.reads(OpCause::GcRead);
+        s.gc_writes = delta.writes(OpCause::GcWrite);
+        s.log_reads = delta.reads(OpCause::LogRead);
+        s.log_writes = delta.writes(OpCause::LogWrite);
+        s.erases = delta.erases();
+        s.cum_waf = waf_from(
+            delta.total_writes(),
+            report.writes.count(),
+            self.cfg.pair_bytes,
+            self.cfg.page_payload,
+        );
+        let read_ops = report.reads.count();
+        s.cum_raf = if read_ops > 0 {
+            delta.total_reads() as f64 / read_ops as f64
+        } else {
+            0.0
+        };
+        self.seq += 1;
+        self.interval_start = ts;
+        self.interval_ops = 0;
+        self.interval_reads = LatencyHist::new();
+        self.interval_writes = LatencyHist::new();
+        self.out.push(s);
+    }
+}
+
+/// Cumulative write amplification with exactly the arithmetic the bench
+/// scheduler uses for `summary.json`'s `waf` field: flash programs over
+/// the minimal pages for `write_ops` pairs of `pair_bytes` logical bytes.
+/// Zero before the first measured write (the scheduler substitutes the
+/// fill's live bytes there; a mid-run sample has no such substitute).
+pub fn waf_from(flash_writes: u64, write_ops: u64, pair_bytes: u64, page_payload: u64) -> f64 {
+    if write_ops == 0 {
+        return 0.0;
+    }
+    let payload = page_payload.max(1);
+    let denom = (write_ops * pair_bytes).div_ceil(payload).max(1);
+    flash_writes as f64 / denom as f64
+}
+
 fn run_inner(
     engine: &mut dyn KvEngine,
     ops: impl Iterator<Item = Op>,
     n_ops: u64,
     queue_depth: usize,
     mut trace: Option<&mut Vec<TraceEvent>>,
+    sampler: Option<(&SampleCfg, &mut Vec<StateSample>)>,
 ) -> Result<RunReport, KvError> {
     let start = engine.horizon();
     let mut report = RunReport {
@@ -157,9 +320,25 @@ fn run_inner(
         counters: FlashCounters::new(),
         reads_per_get: [0; MAX_TRACKED_READS + 1],
         phases: PhaseHists::new(),
+        waf_curve: Vec::new(),
     };
     let counters_before = engine.counters();
     let mut inflight: BinaryHeap<Reverse<Ns>> = BinaryHeap::new();
+    let curve_stride = n_ops.div_ceil(WAF_CURVE_POINTS).max(1);
+    let mut sampler = sampler.map(|(cfg, out)| Sampler {
+        cfg,
+        out,
+        next_ts: start + cfg.interval_ns.max(1),
+        interval_start: start,
+        interval_ops: 0,
+        interval_reads: LatencyHist::new(),
+        interval_writes: LatencyHist::new(),
+        seq: 0,
+    });
+    if let Some(s) = sampler.as_mut() {
+        // The seq-0 sample captures the post-warm-up baseline state.
+        s.emit(&*engine, &counters_before, &report, start);
+    }
 
     for op in ops.take(n_ops as usize) {
         let at = if inflight.len() >= queue_depth {
@@ -203,8 +382,45 @@ fn run_inner(
         report.ops += 1;
         report.end = report.end.max(outcome.done_at);
         inflight.push(Reverse(outcome.done_at));
+        if report.ops % curve_stride == 0 {
+            report.waf_curve.push(WafPoint {
+                ts_ns: report.end,
+                write_ops: report.writes.count(),
+                flash_writes: engine.counters().since(&counters_before).total_writes(),
+            });
+        }
+        if let Some(s) = sampler.as_mut() {
+            match op {
+                Op::Get { .. } => s.interval_reads.record(latency),
+                Op::Put { .. } | Op::Delete { .. } => s.interval_writes.record(latency),
+                Op::Scan { .. } => {}
+            }
+            s.interval_ops += 1;
+            while s.next_ts <= report.end {
+                let ts = s.next_ts;
+                s.emit(&*engine, &counters_before, &report, ts);
+                s.next_ts = ts + s.cfg.interval_ns.max(1);
+            }
+        }
     }
     report.counters = engine.counters().since(&counters_before);
+    if report.ops > 0 {
+        let last = WafPoint {
+            ts_ns: report.end,
+            write_ops: report.writes.count(),
+            flash_writes: report.counters.total_writes(),
+        };
+        if report.waf_curve.last() != Some(&last) {
+            report.waf_curve.push(last);
+        }
+    }
+    if let Some(s) = sampler.as_mut() {
+        // A closing sample pinned to the stage end, so the series' final
+        // cum_waf matches the report's counters exactly.
+        if s.out.last().map(|p| p.ts_ns) != Some(report.end) {
+            s.emit(&*engine, &counters_before, &report, report.end);
+        }
+    }
     Ok(report)
 }
 
@@ -338,6 +554,84 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::FlashOp { .. })));
+    }
+
+    #[test]
+    fn sampled_run_is_pure_observation_and_curve_matches_counters() {
+        let build = || {
+            DeviceConfig::builder()
+                .capacity_bytes(64 << 20)
+                .engine(EngineKind::AnyKey)
+                .key_len(20)
+                .build()
+                .build_engine()
+        };
+        let w = spec::by_name("Dedup").unwrap();
+        let mut a = build();
+        warm_up(a.as_mut(), w, 10_000, 9).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(10).build();
+        let plain = run(a.as_mut(), ops, 2_000, DEFAULT_QUEUE_DEPTH).unwrap();
+
+        let mut b = build();
+        warm_up(b.as_mut(), w, 10_000, 9).unwrap();
+        let ops = OpStreamBuilder::new(w, 10_000).seed(10).build();
+        let cfg = SampleCfg {
+            interval_ns: 50_000,
+            pair_bytes: 1_044,
+            page_payload: 32_704,
+        };
+        let (sampled, samples) =
+            run_sampled(b.as_mut(), ops, 2_000, DEFAULT_QUEUE_DEPTH, &cfg).unwrap();
+
+        // Sampling is pure observation: identical timings and counters.
+        assert_eq!(sampled.ops, plain.ops);
+        assert_eq!(sampled.end, plain.end);
+        assert_eq!(sampled.reads.total(), plain.reads.total());
+        assert_eq!(sampled.counters, plain.counters);
+        assert_eq!(sampled.waf_curve, plain.waf_curve);
+
+        // Baseline + closing samples, grid in between, monotone seq/ts.
+        assert!(samples.len() >= 3, "expected a grid of samples");
+        assert_eq!(samples[0].seq, 0);
+        assert_eq!(samples[0].ts_ns, sampled.start);
+        assert!(samples
+            .windows(2)
+            .all(|w| w[0].seq + 1 == w[1].seq && w[0].ts_ns <= w[1].ts_ns));
+        let last = samples.last().unwrap();
+        assert_eq!(last.ts_ns, sampled.end);
+        // The closing sample's cumulative traffic equals the report delta
+        // bit-for-bit, so its WAF is the summary's WAF.
+        assert_eq!(
+            last.host_writes
+                + last.meta_writes
+                + last.comp_writes
+                + last.gc_writes
+                + last.log_writes,
+            sampled.counters.total_writes()
+        );
+        assert_eq!(
+            last.cum_waf,
+            waf_from(
+                sampled.counters.total_writes(),
+                sampled.writes.count(),
+                cfg.pair_bytes,
+                cfg.page_payload
+            )
+        );
+
+        // Cumulative per-cause counters are monotone non-decreasing.
+        for w in samples.windows(2) {
+            let (p, c) = (&w[0], &w[1]);
+            assert!(c.host_reads >= p.host_reads && c.host_writes >= p.host_writes);
+            assert!(c.comp_writes >= p.comp_writes && c.gc_writes >= p.gc_writes);
+            assert!(c.log_writes >= p.log_writes && c.erases >= p.erases);
+        }
+
+        // The always-on WAF curve closes on the report counters too.
+        let tail = plain.waf_curve.last().unwrap();
+        assert_eq!(tail.flash_writes, plain.counters.total_writes());
+        assert_eq!(tail.write_ops, plain.writes.count());
+        assert_eq!(tail.ts_ns, plain.end);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use geometry::FlashGeometry;
 /// Page-type-aware latency tables.
 pub use latency::{LatencyModel, PageKind};
 /// Simulator configuration, operation outcomes, and the simulator itself.
-pub use sim::{FlashConfig, FlashOpResult, FlashOpStatus, FlashSim};
+pub use sim::{FlashConfig, FlashOpResult, FlashOpStatus, FlashSim, FlashStateSample};
 /// Flash-op lifecycle events recorded while tracing.
 pub use trace::{FlashEvent, FlashOpKind};
 

@@ -124,6 +124,24 @@ struct Chip {
     bg_done: Ns,
 }
 
+/// A device-level state snapshot for telemetry timelines: the virtual
+/// horizon plus the erase-count spread over all blocks (the wear-leveling
+/// signal the paper's GC discussion reasons about). Produced by
+/// [`FlashSim::sample_state`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashStateSample {
+    /// Latest busy instant across all chips (foreground or background).
+    pub horizon: Ns,
+    /// Total blocks in the device.
+    pub blocks: u64,
+    /// Minimum completed P/E cycles over all blocks.
+    pub wear_min: u64,
+    /// Maximum completed P/E cycles over all blocks.
+    pub wear_max: u64,
+    /// Total completed P/E cycles over all blocks.
+    pub wear_total: u64,
+}
+
 /// A flash device with one two-lane timeline per chip.
 #[derive(Debug, Clone)]
 pub struct FlashSim {
@@ -489,6 +507,25 @@ impl FlashSim {
     /// Completed P/E cycles of a block, as seen by the device.
     pub fn block_wear(&self, block: BlockId) -> u32 {
         self.wear.get(block.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Snapshots the device-level state a telemetry timeline samples:
+    /// the virtual-time horizon and the erase-count spread over all
+    /// blocks. Pure observation — never mutates chip timelines, counters,
+    /// or wear.
+    pub fn sample_state(&self) -> FlashStateSample {
+        let mut s = FlashStateSample {
+            horizon: self.horizon(),
+            blocks: self.wear.len() as u64,
+            wear_min: self.wear.iter().copied().min().unwrap_or(0).into(),
+            ..FlashStateSample::default()
+        };
+        for &w in &self.wear {
+            let w = u64::from(w);
+            s.wear_max = s.wear_max.max(w);
+            s.wear_total += w;
+        }
+        s
     }
 
     /// Resets the counters (e.g. at the end of warm-up) without touching

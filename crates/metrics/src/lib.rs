@@ -22,6 +22,9 @@ pub mod hist;
 pub mod report;
 /// Machine-readable `summary.json` schema, parser, and tolerance diff.
 pub mod summary;
+/// Virtual-time state-sample timelines, exporters, and the steady-state
+/// analyzer.
+pub mod timeline;
 /// Virtual-time trace events, phase attribution, and exporters.
 pub mod trace;
 
@@ -31,5 +34,9 @@ pub use hist::LatencyHist;
 pub use report::{Csv, Table};
 /// The `summary.json` schema and diff entry points.
 pub use summary::{diff, parse, PointSummary, RunSummary};
+/// The timeline sample model and steady-state detector.
+pub use timeline::{
+    detect_steady_state, LevelSample, StateSample, SteadyState, WafPoint, TIMELINE_SCHEMA_VERSION,
+};
 /// The trace event model and phase-breakdown aggregates.
 pub use trace::{PhaseBreakdown, PhaseHists, TraceEvent, TRACE_SCHEMA_VERSION};

@@ -33,7 +33,12 @@ use std::path::Path;
 /// v2 added the per-point phase-breakdown fields (`phase_*_ns`,
 /// `phase_*_p99_ns`) so the regression gate can localize *which phase* of
 /// the request path regressed, not just that end-to-end latency moved.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `p95_read_ns`/`p95_write_ns` (the paper reports p95 tails) and
+/// the steady-state fields `converged_waf`/`burnin_ns` derived from the
+/// runner's always-on cumulative-WAF curve, so the gate can tell a
+/// converged measurement from one still in burn-in.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Default multiplicative tolerance for wall-time metrics: the candidate
 /// may take up to 5× the baseline's wall seconds before the diff fails.
@@ -81,15 +86,26 @@ pub struct PointSummary {
     pub iops: f64,
     /// Median GET latency (virtual ns).
     pub p50_read_ns: u64,
+    /// 95th-percentile GET latency (virtual ns).
+    pub p95_read_ns: u64,
     /// 99th-percentile GET latency (virtual ns).
     pub p99_read_ns: u64,
     /// Median PUT/DELETE latency (virtual ns).
     pub p50_write_ns: u64,
+    /// 95th-percentile PUT/DELETE latency (virtual ns).
+    pub p95_write_ns: u64,
     /// 99th-percentile PUT/DELETE latency (virtual ns).
     pub p99_write_ns: u64,
     /// Write amplification: flash page programs ÷ minimal pages for the
     /// host bytes written (see the bench scheduler for the denominator).
     pub waf: f64,
+    /// Mean cumulative WAF over the detected steady-state window of the
+    /// measured phase (0 when the curve never settled or the point has no
+    /// measured ops).
+    pub converged_waf: f64,
+    /// Virtual ns from measured-phase start to the steady-state window (0
+    /// when never settled or not applicable).
+    pub burnin_ns: u64,
     /// Flash page reads servicing host GETs/SCANs.
     pub host_reads: u64,
     /// Flash page programs of host data outside compaction.
@@ -197,10 +213,14 @@ impl RunSummary {
             let _ = writeln!(s, "      \"virtual_ns\": {},", p.virtual_ns);
             let _ = writeln!(s, "      \"iops\": {:.6},", p.iops);
             let _ = writeln!(s, "      \"p50_read_ns\": {},", p.p50_read_ns);
+            let _ = writeln!(s, "      \"p95_read_ns\": {},", p.p95_read_ns);
             let _ = writeln!(s, "      \"p99_read_ns\": {},", p.p99_read_ns);
             let _ = writeln!(s, "      \"p50_write_ns\": {},", p.p50_write_ns);
+            let _ = writeln!(s, "      \"p95_write_ns\": {},", p.p95_write_ns);
             let _ = writeln!(s, "      \"p99_write_ns\": {},", p.p99_write_ns);
             let _ = writeln!(s, "      \"waf\": {:.6},", p.waf);
+            let _ = writeln!(s, "      \"converged_waf\": {:.6},", p.converged_waf);
+            let _ = writeln!(s, "      \"burnin_ns\": {},", p.burnin_ns);
             let _ = writeln!(s, "      \"host_reads\": {},", p.host_reads);
             let _ = writeln!(s, "      \"host_writes\": {},", p.host_writes);
             let _ = writeln!(s, "      \"meta_reads\": {},", p.meta_reads);
@@ -624,10 +644,14 @@ mod tests {
             virtual_ns: 5_000_000,
             iops,
             p50_read_ns: 100,
+            p95_read_ns: 700,
             p99_read_ns: 900,
             p50_write_ns: 110,
+            p95_write_ns: 750,
             p99_write_ns: 950,
             waf: 2.5,
+            converged_waf: 2.4,
+            burnin_ns: 1_000_000,
             host_reads: 10,
             host_writes: 2,
             meta_reads: 3,
@@ -671,8 +695,11 @@ mod tests {
     fn json_roundtrip_preserves_fields() {
         let s = sample(123456.789, 1.5);
         let parsed = parse(&s.to_json()).unwrap();
-        assert_eq!(parsed.field("schema_version"), Some("2"));
+        assert_eq!(parsed.field("schema_version"), Some("3"));
         assert_eq!(parsed.points[0].field("phase_data_ns"), Some("13"));
+        assert_eq!(parsed.points[0].field("p95_read_ns"), Some("700"));
+        assert_eq!(parsed.points[0].field("converged_waf"), Some("2.400000"));
+        assert_eq!(parsed.points[0].field("burnin_ns"), Some("1000000"));
         assert_eq!(parsed.field("seed"), Some("42"));
         assert_eq!(parsed.points.len(), 2);
         assert_eq!(parsed.points[0].key, "fig10/ZippyDB/AnyKey+");

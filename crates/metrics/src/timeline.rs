@@ -1,0 +1,1174 @@
+//! Virtual-time telemetry timelines: periodic device-state samples, the
+//! JSONL/CSV exporters, the parser, and the steady-state analyzer behind
+//! `xtask timeline`.
+//!
+//! The paper's headline claims are *steady-state* claims — AnyKey's wins
+//! over PinK materialize only once the tree, hash lists, and value log
+//! reach equilibrium — and a single end-of-run summary cannot show whether
+//! a measurement ever got there. A timeline is the missing axis: the
+//! runner snapshots a [`StateSample`] at a configurable virtual-time
+//! interval, capturing how level occupancy, the DRAM budget split, the
+//! value-log garbage ratio, the free-block pool, and the cumulative
+//! per-cause write/read amplification evolved over the measured phase.
+//!
+//! Every timestamp is virtual nanoseconds. Like the trace module, this
+//! module must never touch the host clock (the `trace-no-wall-clock`
+//! xtask lint covers any path containing `timeline` too), so captures are
+//! byte-identical across runs, machines, and `--jobs` levels. Sampling is
+//! pure observation: a run with sampling enabled produces bit-identical
+//! reports, CSVs, and traces to one without.
+//!
+//! Two serializations share the sample model: line-oriented JSONL
+//! (schema-versioned; per-level occupancy rides as companion `level`
+//! lines) parsed back by [`parse_jsonl`], and a flat CSV of the scalar
+//! fields for plotting. The analyzer ([`analyze`]) detects the burn-in →
+//! steady-state transition with a sliding-window WAF-slope test, reports
+//! convergence values, and flags compaction-storm and GC-debt windows.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::summary::esc;
+
+/// Version stamp of the JSONL timeline schema. Bump on any field change so
+/// `xtask timeline` can refuse files it does not understand.
+pub const TIMELINE_SCHEMA_VERSION: u64 = 1;
+
+/// Default sliding-window length (in samples) of the steady-state
+/// detector.
+pub const DEFAULT_STEADY_WINDOW: usize = 8;
+
+/// Default relative WAF-slope tolerance of the steady-state detector: a
+/// window is "flat" when the cumulative WAF moved less than this fraction
+/// across it.
+pub const DEFAULT_STEADY_TOL: f64 = 0.05;
+
+/// One LSM level's occupancy inside a [`StateSample`].
+///
+/// `entries` counts the level's placement units — data segment groups for
+/// AnyKey, meta segments for PinK. `phys_bytes` is the flash footprint of
+/// those units; `meta_bytes` the level's DRAM-facing metadata (level-list
+/// bytes for both engines).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelSample {
+    /// Level index (0 = top).
+    pub level: u32,
+    /// Placement units in the level (groups / meta segments).
+    pub entries: u64,
+    /// Logical KV bytes the level references.
+    pub kv_bytes: u64,
+    /// Physical flash bytes the level's units occupy.
+    pub phys_bytes: u64,
+    /// Level-list metadata bytes the level contributes.
+    pub meta_bytes: u64,
+}
+
+/// One periodic snapshot of device state during a measured run.
+///
+/// The runner fills the identity, interval, and cumulative-traffic fields;
+/// [`KvEngine::sample_state`](../../anykey_core/engine/trait.KvEngine.html)
+/// fills the engine-state fields. All counters are cumulative since the
+/// start of the measured phase (so they are monotone non-decreasing across
+/// a point's samples); interval metrics cover only the span since the
+/// previous sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateSample {
+    /// Sample sequence number within the point (0 = phase start).
+    pub seq: u64,
+    /// Virtual ns of the snapshot.
+    pub ts_ns: u64,
+    /// Operations completed since the previous sample.
+    pub interval_ops: u64,
+    /// Operations per virtual second over the interval.
+    pub interval_iops: f64,
+    /// p99 GET latency over the interval (virtual ns).
+    pub interval_read_p99_ns: u64,
+    /// p99 PUT/DELETE latency over the interval (virtual ns).
+    pub interval_write_p99_ns: u64,
+    /// Cumulative flash page reads servicing host GETs/SCANs.
+    pub host_reads: u64,
+    /// Cumulative flash page programs of host data.
+    pub host_writes: u64,
+    /// Cumulative metadata flash reads.
+    pub meta_reads: u64,
+    /// Cumulative metadata flash programs.
+    pub meta_writes: u64,
+    /// Cumulative compaction flash reads.
+    pub comp_reads: u64,
+    /// Cumulative compaction flash programs.
+    pub comp_writes: u64,
+    /// Cumulative GC flash reads.
+    pub gc_reads: u64,
+    /// Cumulative GC flash programs.
+    pub gc_writes: u64,
+    /// Cumulative value-log flash reads.
+    pub log_reads: u64,
+    /// Cumulative value-log flash programs.
+    pub log_writes: u64,
+    /// Cumulative block erases.
+    pub erases: u64,
+    /// Cumulative write amplification: total flash programs ÷ minimal
+    /// pages for the host bytes written so far (0 before the first write).
+    pub cum_waf: f64,
+    /// Cumulative read amplification: total flash reads ÷ host GETs so far
+    /// (0 before the first read).
+    pub cum_raf: f64,
+    /// Configured DRAM capacity in bytes.
+    pub dram_capacity: u64,
+    /// DRAM bytes currently in use (write buffer + resident metadata).
+    pub dram_used: u64,
+    /// Level-list bytes across all levels.
+    pub level_list_bytes: u64,
+    /// Total AnyKey hash-list bytes (resident or not; 0 for PinK).
+    pub hash_list_total_bytes: u64,
+    /// Hash-list bytes currently DRAM-resident (0 for PinK).
+    pub hash_list_resident_bytes: u64,
+    /// PinK meta-segment bytes resident in DRAM (0 for AnyKey).
+    pub meta_segment_dram_bytes: u64,
+    /// PinK meta-segment bytes spilled to flash (0 for AnyKey).
+    pub meta_segment_flash_bytes: u64,
+    /// Total placement units across all levels (groups / meta segments).
+    pub group_count: u64,
+    /// Live value bytes parked in the value log (0 without a log).
+    pub value_log_live_bytes: u64,
+    /// Stale (superseded, not yet reclaimed) value-log bytes.
+    pub value_log_stale_bytes: u64,
+    /// Free erase blocks across the engine's regions — the headroom GC
+    /// watches.
+    pub free_blocks: u64,
+    /// Minimum completed P/E cycles over all blocks.
+    pub wear_min: u64,
+    /// Maximum completed P/E cycles over all blocks.
+    pub wear_max: u64,
+    /// Total completed P/E cycles over all blocks.
+    pub wear_total: u64,
+    /// Per-level occupancy, top level first.
+    pub levels: Vec<LevelSample>,
+}
+
+/// One point of the always-on cumulative-WAF curve the runner records
+/// regardless of timeline export (it feeds the steady-state fields of
+/// `summary.json`). Kept as raw integers so the WAF can be recomputed with
+/// the same arithmetic the summary uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WafPoint {
+    /// Virtual ns of the curve point.
+    pub ts_ns: u64,
+    /// Measured PUT/DELETE operations completed so far.
+    pub write_ops: u64,
+    /// Total flash page programs since the measured phase began.
+    pub flash_writes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export
+// ---------------------------------------------------------------------------
+
+/// Renders the JSONL header line (without trailing newline).
+pub fn jsonl_header() -> String {
+    format!(
+        "{{\"event\":\"header\",\"schema_version\":{},\"clock\":\"virtual-ns\"}}",
+        TIMELINE_SCHEMA_VERSION
+    )
+}
+
+/// Renders a point-marker line: all following sample/level lines (until
+/// the next marker) belong to the named experiment point.
+pub fn jsonl_point(key: &str) -> String {
+    format!("{{\"event\":\"point\",\"key\":\"{}\"}}", esc(key))
+}
+
+/// Renders one sample's scalar line (without trailing newline). Field
+/// order is fixed so captures are byte-comparable; floats render with a
+/// fixed six-decimal precision.
+pub fn jsonl_sample(s: &StateSample) -> String {
+    format!(
+        "{{\"event\":\"sample\",\"seq\":{},\"ts\":{},\"interval_ops\":{},\
+         \"interval_iops\":{:.6},\"interval_read_p99\":{},\"interval_write_p99\":{},\
+         \"host_reads\":{},\"host_writes\":{},\"meta_reads\":{},\"meta_writes\":{},\
+         \"comp_reads\":{},\"comp_writes\":{},\"gc_reads\":{},\"gc_writes\":{},\
+         \"log_reads\":{},\"log_writes\":{},\"erases\":{},\"cum_waf\":{:.6},\
+         \"cum_raf\":{:.6},\"dram_capacity\":{},\"dram_used\":{},\
+         \"level_list_bytes\":{},\"hash_list_total_bytes\":{},\
+         \"hash_list_resident_bytes\":{},\"meta_segment_dram_bytes\":{},\
+         \"meta_segment_flash_bytes\":{},\"group_count\":{},\
+         \"value_log_live_bytes\":{},\"value_log_stale_bytes\":{},\
+         \"free_blocks\":{},\"wear_min\":{},\"wear_max\":{},\"wear_total\":{}}}",
+        s.seq,
+        s.ts_ns,
+        s.interval_ops,
+        s.interval_iops,
+        s.interval_read_p99_ns,
+        s.interval_write_p99_ns,
+        s.host_reads,
+        s.host_writes,
+        s.meta_reads,
+        s.meta_writes,
+        s.comp_reads,
+        s.comp_writes,
+        s.gc_reads,
+        s.gc_writes,
+        s.log_reads,
+        s.log_writes,
+        s.erases,
+        s.cum_waf,
+        s.cum_raf,
+        s.dram_capacity,
+        s.dram_used,
+        s.level_list_bytes,
+        s.hash_list_total_bytes,
+        s.hash_list_resident_bytes,
+        s.meta_segment_dram_bytes,
+        s.meta_segment_flash_bytes,
+        s.group_count,
+        s.value_log_live_bytes,
+        s.value_log_stale_bytes,
+        s.free_blocks,
+        s.wear_min,
+        s.wear_max,
+        s.wear_total
+    )
+}
+
+/// Renders one per-level companion line of a sample.
+pub fn jsonl_level(seq: u64, l: &LevelSample) -> String {
+    format!(
+        "{{\"event\":\"level\",\"seq\":{},\"level\":{},\"entries\":{},\
+         \"kv_bytes\":{},\"phys_bytes\":{},\"meta_bytes\":{}}}",
+        seq, l.level, l.entries, l.kv_bytes, l.phys_bytes, l.meta_bytes
+    )
+}
+
+/// Renders a whole timeline document — header line, then for each point a
+/// marker line followed by its samples (each with its level lines) — as
+/// JSONL.
+pub fn write_jsonl(points: &[(String, Vec<StateSample>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&jsonl_header());
+    out.push('\n');
+    for (key, samples) in points {
+        out.push_str(&jsonl_point(key));
+        out.push('\n');
+        for s in samples {
+            out.push_str(&jsonl_sample(s));
+            out.push('\n');
+            for l in &s.levels {
+                out.push_str(&jsonl_level(s.seq, l));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Column names of the CSV export, in order (per-level occupancy is
+/// JSONL-only; the CSV stays flat for direct plotting).
+pub const CSV_COLUMNS: [&str; 34] = [
+    "point",
+    "seq",
+    "ts_ns",
+    "interval_ops",
+    "interval_iops",
+    "interval_read_p99_ns",
+    "interval_write_p99_ns",
+    "host_reads",
+    "host_writes",
+    "meta_reads",
+    "meta_writes",
+    "comp_reads",
+    "comp_writes",
+    "gc_reads",
+    "gc_writes",
+    "log_reads",
+    "log_writes",
+    "erases",
+    "cum_waf",
+    "cum_raf",
+    "dram_capacity",
+    "dram_used",
+    "level_list_bytes",
+    "hash_list_total_bytes",
+    "hash_list_resident_bytes",
+    "meta_segment_dram_bytes",
+    "meta_segment_flash_bytes",
+    "group_count",
+    "value_log_live_bytes",
+    "value_log_stale_bytes",
+    "free_blocks",
+    "wear_min",
+    "wear_max",
+    "wear_total",
+];
+
+/// Renders a timeline as a flat CSV of the scalar sample fields, one row
+/// per sample, point key in the first column.
+pub fn write_csv(points: &[(String, Vec<StateSample>)]) -> String {
+    let mut out = CSV_COLUMNS.join(",");
+    out.push('\n');
+    for (key, samples) in points {
+        for s in samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},\
+                 {},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                key,
+                s.seq,
+                s.ts_ns,
+                s.interval_ops,
+                s.interval_iops,
+                s.interval_read_p99_ns,
+                s.interval_write_p99_ns,
+                s.host_reads,
+                s.host_writes,
+                s.meta_reads,
+                s.meta_writes,
+                s.comp_reads,
+                s.comp_writes,
+                s.gc_reads,
+                s.gc_writes,
+                s.log_reads,
+                s.log_writes,
+                s.erases,
+                s.cum_waf,
+                s.cum_raf,
+                s.dram_capacity,
+                s.dram_used,
+                s.level_list_bytes,
+                s.hash_list_total_bytes,
+                s.hash_list_resident_bytes,
+                s.meta_segment_dram_bytes,
+                s.meta_segment_flash_bytes,
+                s.group_count,
+                s.value_log_live_bytes,
+                s.value_log_stale_bytes,
+                s.free_blocks,
+                s.wear_min,
+                s.wear_max,
+                s.wear_total
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing
+// ---------------------------------------------------------------------------
+
+/// A timeline parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// 1-based line number in the JSONL document.
+    pub line: usize,
+}
+
+impl fmt::Display for TimelineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timeline parse error at line {}: {}",
+            self.line, self.msg
+        )
+    }
+}
+
+/// A parsed timeline document: schema version plus per-point sample
+/// series, in document order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedTimeline {
+    /// Schema version from the header line.
+    pub schema_version: u64,
+    /// `(point key, samples)` in document order.
+    pub points: Vec<(String, Vec<StateSample>)>,
+}
+
+/// Parses one flat JSON object line into `(key, raw value token)` pairs.
+/// Numbers stay raw text so integer and float fields convert exactly.
+fn parse_flat(line: &str) -> Result<Vec<(String, String)>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let skip_ws = |pos: &mut usize| {
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            *pos += 1;
+        }
+    };
+    let string = |pos: &mut usize| -> Result<String, String> {
+        skip_ws(pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut s = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = bytes.get(*pos + 1..*pos + 5);
+                            let code = hex
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match code {
+                                Some(c) => {
+                                    s.push(c);
+                                    *pos += 4;
+                                }
+                                None => return Err("bad \\u escape".into()),
+                            }
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c < 0x80 => {
+                    s.push(c as char);
+                    *pos += 1;
+                }
+                Some(_) => match line[*pos..].chars().next() {
+                    Some(c) => {
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err("invalid utf-8".into()),
+                },
+            }
+        }
+    };
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(format!("expected '{{' at byte {pos}"));
+    }
+    pos += 1;
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        let key = string(&mut pos)?;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let val = match bytes.get(pos) {
+            Some(b'"') => format!("\"{}\"", string(&mut pos)?),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+                let start = pos;
+                while bytes
+                    .get(pos)
+                    .is_some_and(|&b| b.is_ascii_digit() || b == b'.' || b == b'-')
+                {
+                    pos += 1;
+                }
+                line[start..pos].to_string()
+            }
+            Some(b't') if bytes[pos..].starts_with(b"true") => {
+                pos += 4;
+                "true".to_string()
+            }
+            Some(b'f') if bytes[pos..].starts_with(b"false") => {
+                pos += 5;
+                "false".to_string()
+            }
+            _ => return Err(format!("expected value at byte {pos}")),
+        };
+        out.push((key, val));
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(out),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn raw<'a>(fields: &'a [(String, String)], name: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field '{name}'"))
+}
+
+fn u64_field(fields: &[(String, String)], name: &str) -> Result<u64, String> {
+    raw(fields, name)?
+        .parse::<u64>()
+        .map_err(|_| format!("field '{name}' is not a u64"))
+}
+
+fn u32_field(fields: &[(String, String)], name: &str) -> Result<u32, String> {
+    raw(fields, name)?
+        .parse::<u32>()
+        .map_err(|_| format!("field '{name}' is not a u32"))
+}
+
+fn f64_field(fields: &[(String, String)], name: &str) -> Result<f64, String> {
+    raw(fields, name)?
+        .parse::<f64>()
+        .map_err(|_| format!("field '{name}' is not a number"))
+}
+
+fn str_field(fields: &[(String, String)], name: &str) -> Result<String, String> {
+    let v = raw(fields, name)?;
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{name}' is not a string"))
+}
+
+fn parse_sample(fields: &[(String, String)]) -> Result<StateSample, String> {
+    Ok(StateSample {
+        seq: u64_field(fields, "seq")?,
+        ts_ns: u64_field(fields, "ts")?,
+        interval_ops: u64_field(fields, "interval_ops")?,
+        interval_iops: f64_field(fields, "interval_iops")?,
+        interval_read_p99_ns: u64_field(fields, "interval_read_p99")?,
+        interval_write_p99_ns: u64_field(fields, "interval_write_p99")?,
+        host_reads: u64_field(fields, "host_reads")?,
+        host_writes: u64_field(fields, "host_writes")?,
+        meta_reads: u64_field(fields, "meta_reads")?,
+        meta_writes: u64_field(fields, "meta_writes")?,
+        comp_reads: u64_field(fields, "comp_reads")?,
+        comp_writes: u64_field(fields, "comp_writes")?,
+        gc_reads: u64_field(fields, "gc_reads")?,
+        gc_writes: u64_field(fields, "gc_writes")?,
+        log_reads: u64_field(fields, "log_reads")?,
+        log_writes: u64_field(fields, "log_writes")?,
+        erases: u64_field(fields, "erases")?,
+        cum_waf: f64_field(fields, "cum_waf")?,
+        cum_raf: f64_field(fields, "cum_raf")?,
+        dram_capacity: u64_field(fields, "dram_capacity")?,
+        dram_used: u64_field(fields, "dram_used")?,
+        level_list_bytes: u64_field(fields, "level_list_bytes")?,
+        hash_list_total_bytes: u64_field(fields, "hash_list_total_bytes")?,
+        hash_list_resident_bytes: u64_field(fields, "hash_list_resident_bytes")?,
+        meta_segment_dram_bytes: u64_field(fields, "meta_segment_dram_bytes")?,
+        meta_segment_flash_bytes: u64_field(fields, "meta_segment_flash_bytes")?,
+        group_count: u64_field(fields, "group_count")?,
+        value_log_live_bytes: u64_field(fields, "value_log_live_bytes")?,
+        value_log_stale_bytes: u64_field(fields, "value_log_stale_bytes")?,
+        free_blocks: u64_field(fields, "free_blocks")?,
+        wear_min: u64_field(fields, "wear_min")?,
+        wear_max: u64_field(fields, "wear_max")?,
+        wear_total: u64_field(fields, "wear_total")?,
+        levels: Vec::new(),
+    })
+}
+
+/// Parses a JSONL timeline document produced by [`write_jsonl`].
+///
+/// # Errors
+///
+/// Returns a [`TimelineParseError`] on malformed lines, a missing or
+/// incompatible header, samples before the first point marker, or a
+/// `level` line that does not follow its sample.
+pub fn parse_jsonl(src: &str) -> Result<ParsedTimeline, TimelineParseError> {
+    let mut out = ParsedTimeline::default();
+    let mut saw_header = false;
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mk_err = |msg: String| TimelineParseError { msg, line: lineno };
+        let fields = parse_flat(line).map_err(mk_err)?;
+        let mk_err = |msg: String| TimelineParseError { msg, line: lineno };
+        let event = str_field(&fields, "event").map_err(mk_err)?;
+        let mk_err = |msg: String| TimelineParseError { msg, line: lineno };
+        match event.as_str() {
+            "header" => {
+                out.schema_version = u64_field(&fields, "schema_version").map_err(mk_err)?;
+                if out.schema_version != TIMELINE_SCHEMA_VERSION {
+                    return Err(TimelineParseError {
+                        msg: format!(
+                            "unsupported timeline schema {} (expected {})",
+                            out.schema_version, TIMELINE_SCHEMA_VERSION
+                        ),
+                        line: lineno,
+                    });
+                }
+                saw_header = true;
+            }
+            "point" => {
+                if !saw_header {
+                    return Err(TimelineParseError {
+                        msg: "point before header line".into(),
+                        line: lineno,
+                    });
+                }
+                let key = str_field(&fields, "key").map_err(mk_err)?;
+                out.points.push((key, Vec::new()));
+            }
+            "sample" => {
+                let s = parse_sample(&fields).map_err(mk_err)?;
+                match out.points.last_mut() {
+                    Some((_, samples)) => samples.push(s),
+                    None => {
+                        return Err(TimelineParseError {
+                            msg: "sample before first point marker".into(),
+                            line: lineno,
+                        })
+                    }
+                }
+            }
+            "level" => {
+                let seq = u64_field(&fields, "seq").map_err(mk_err)?;
+                let l = LevelSample {
+                    level: u32_field(&fields, "level").map_err(mk_err)?,
+                    entries: u64_field(&fields, "entries").map_err(mk_err)?,
+                    kv_bytes: u64_field(&fields, "kv_bytes").map_err(mk_err)?,
+                    phys_bytes: u64_field(&fields, "phys_bytes").map_err(mk_err)?,
+                    meta_bytes: u64_field(&fields, "meta_bytes").map_err(mk_err)?,
+                };
+                let sample = out
+                    .points
+                    .last_mut()
+                    .and_then(|(_, samples)| samples.last_mut())
+                    .filter(|s| s.seq == seq);
+                match sample {
+                    Some(s) => s.levels.push(l),
+                    None => {
+                        return Err(TimelineParseError {
+                            msg: format!("level line for seq {seq} does not follow its sample"),
+                            line: lineno,
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(TimelineParseError {
+                    msg: format!("unknown event kind '{other}'"),
+                    line: lineno,
+                })
+            }
+        }
+    }
+    if !saw_header {
+        return Err(TimelineParseError {
+            msg: "missing header line".into(),
+            line: 0,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state detection and analysis (`xtask timeline`)
+// ---------------------------------------------------------------------------
+
+/// The detected burn-in → steady-state transition of one WAF curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyState {
+    /// Index of the first sample inside the steady-state window.
+    pub start_idx: usize,
+    /// Virtual ns of that sample — the burn-in horizon.
+    pub start_ns: u64,
+    /// Mean cumulative WAF over the steady-state window.
+    pub converged_waf: f64,
+}
+
+/// Sliding-window WAF-slope steady-state detector.
+///
+/// A window of `window` consecutive samples is *flat* when the cumulative
+/// WAF changed by less than `tol` (relative to its end value) across it.
+/// The steady state begins at the earliest sample from which **every**
+/// subsequent window is flat — a single late compaction storm therefore
+/// pushes the burn-in horizon past itself, which is exactly the semantics
+/// the paper's steady-state claims need. Returns `None` when the curve is
+/// shorter than one window or never settles.
+pub fn detect_steady_state(curve: &[(u64, f64)], window: usize, tol: f64) -> Option<SteadyState> {
+    let window = window.max(2);
+    let n = curve.len();
+    if n < window {
+        return None;
+    }
+    // Walk window starts from the end; the steady start is the first
+    // sample of the longest all-flat suffix of windows.
+    let mut start: Option<usize> = None;
+    for i in (0..=n - window).rev() {
+        let a = curve[i].1;
+        let b = curve[i + window - 1].1;
+        let rel = (b - a).abs() / b.abs().max(1e-12);
+        if rel < tol {
+            start = Some(i);
+        } else {
+            break;
+        }
+    }
+    let start_idx = start?;
+    let steady = &curve[start_idx..];
+    let converged_waf = steady.iter().map(|(_, w)| w).sum::<f64>() / steady.len() as f64;
+    Some(SteadyState {
+        start_idx,
+        start_ns: curve[start_idx].0,
+        converged_waf,
+    })
+}
+
+/// One window of consecutive samples where background (compaction + GC)
+/// flash programs outweighed foreground programs — a compaction storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormWindow {
+    /// Virtual ns of the first sample in the storm.
+    pub start_ns: u64,
+    /// Virtual ns of the last sample in the storm.
+    pub end_ns: u64,
+    /// Background (compaction + GC) programs over the window.
+    pub bg_writes: u64,
+    /// Foreground (host + log + meta) programs over the window.
+    pub fg_writes: u64,
+}
+
+/// One window of consecutive samples where garbage accrued with no GC
+/// progress: stale value-log bytes grew or the free-block pool shrank
+/// while GC wrote nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DebtWindow {
+    /// Virtual ns of the first sample in the window.
+    pub start_ns: u64,
+    /// Virtual ns of the last sample in the window.
+    pub end_ns: u64,
+    /// Stale value-log bytes accrued over the window.
+    pub stale_growth: u64,
+    /// Free blocks lost over the window.
+    pub free_block_drop: u64,
+}
+
+/// Analysis of one experiment point's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointTimeline {
+    /// The point's key.
+    pub key: String,
+    /// Number of samples in the capture.
+    pub samples: usize,
+    /// Virtual-time span from first to last sample.
+    pub span_ns: u64,
+    /// Cumulative WAF at the final sample.
+    pub final_waf: f64,
+    /// Detected steady state, if the curve settled.
+    pub steady: Option<SteadyState>,
+    /// Compaction-storm windows, in time order.
+    pub storms: Vec<StormWindow>,
+    /// GC-debt windows, in time order.
+    pub gc_debt: Vec<DebtWindow>,
+}
+
+/// Summary statistics extracted from a parsed timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineAnalysis {
+    /// Schema version of the analyzed document.
+    pub schema_version: u64,
+    /// Detector window length used.
+    pub window: usize,
+    /// Detector relative tolerance used.
+    pub tol: f64,
+    /// Per-point analyses, in document order.
+    pub points: Vec<PointTimeline>,
+}
+
+impl TimelineAnalysis {
+    /// Whether every point with at least one detector window of samples
+    /// reached a steady state — the `--assert-converged` CI gate.
+    pub fn all_converged(&self) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.samples >= self.window)
+            .all(|p| p.steady.is_some())
+    }
+}
+
+fn storms_of(samples: &[StateSample]) -> Vec<StormWindow> {
+    let mut out: Vec<StormWindow> = Vec::new();
+    let mut open = false;
+    for w in samples.windows(2) {
+        let (prev, cur) = (&w[0], &w[1]);
+        let bg =
+            (cur.comp_writes + cur.gc_writes).saturating_sub(prev.comp_writes + prev.gc_writes);
+        let fg = (cur.host_writes + cur.log_writes + cur.meta_writes)
+            .saturating_sub(prev.host_writes + prev.log_writes + prev.meta_writes);
+        let stormy = bg > 0 && bg > 2 * fg;
+        if stormy {
+            if open {
+                if let Some(last) = out.last_mut() {
+                    last.end_ns = cur.ts_ns;
+                    last.bg_writes += bg;
+                    last.fg_writes += fg;
+                }
+            } else {
+                out.push(StormWindow {
+                    start_ns: prev.ts_ns,
+                    end_ns: cur.ts_ns,
+                    bg_writes: bg,
+                    fg_writes: fg,
+                });
+            }
+        }
+        open = stormy;
+    }
+    out
+}
+
+fn debts_of(samples: &[StateSample]) -> Vec<DebtWindow> {
+    let mut out: Vec<DebtWindow> = Vec::new();
+    let mut open = false;
+    for w in samples.windows(2) {
+        let (prev, cur) = (&w[0], &w[1]);
+        let gc_idle = cur.gc_writes == prev.gc_writes;
+        let stale_growth = cur
+            .value_log_stale_bytes
+            .saturating_sub(prev.value_log_stale_bytes);
+        let free_drop = prev.free_blocks.saturating_sub(cur.free_blocks);
+        let indebted = gc_idle && (stale_growth > 0 || free_drop > 0);
+        if indebted {
+            if open {
+                if let Some(last) = out.last_mut() {
+                    last.end_ns = cur.ts_ns;
+                    last.stale_growth += stale_growth;
+                    last.free_block_drop += free_drop;
+                }
+            } else {
+                out.push(DebtWindow {
+                    start_ns: prev.ts_ns,
+                    end_ns: cur.ts_ns,
+                    stale_growth,
+                    free_block_drop: free_drop,
+                });
+            }
+        }
+        open = indebted;
+    }
+    out
+}
+
+/// Analyzes a parsed timeline: per-point steady-state detection (sliding
+/// WAF-slope window of `window` samples at relative tolerance `tol`),
+/// convergence values, and compaction-storm / GC-debt windows.
+pub fn analyze(t: &ParsedTimeline, window: usize, tol: f64) -> TimelineAnalysis {
+    let mut a = TimelineAnalysis {
+        schema_version: t.schema_version,
+        window,
+        tol,
+        points: Vec::new(),
+    };
+    for (key, samples) in &t.points {
+        // All reported times are relative to the point's first sample
+        // (its measured-phase start), matching `burnin_ns` in
+        // `summary.json` rather than the absolute virtual clock.
+        let base = samples.first().map_or(0, |s| s.ts_ns);
+        let curve: Vec<(u64, f64)> = samples
+            .iter()
+            .map(|s| (s.ts_ns.saturating_sub(base), s.cum_waf))
+            .collect();
+        let span_ns = samples.last().map_or(0, |l| l.ts_ns.saturating_sub(base));
+        let rebase = |ns: u64| ns.saturating_sub(base);
+        a.points.push(PointTimeline {
+            key: key.clone(),
+            samples: samples.len(),
+            span_ns,
+            final_waf: samples.last().map_or(0.0, |s| s.cum_waf),
+            steady: detect_steady_state(&curve, window, tol),
+            storms: storms_of(samples)
+                .into_iter()
+                .map(|s| StormWindow {
+                    start_ns: rebase(s.start_ns),
+                    end_ns: rebase(s.end_ns),
+                    ..s
+                })
+                .collect(),
+            gc_debt: debts_of(samples)
+                .into_iter()
+                .map(|d| DebtWindow {
+                    start_ns: rebase(d.start_ns),
+                    end_ns: rebase(d.end_ns),
+                    ..d
+                })
+                .collect(),
+        });
+    }
+    a
+}
+
+fn ms(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+impl fmt::Display for TimelineAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timeline: {} point(s) (schema v{}, window {}, tol {:.0}%)",
+            self.points.len(),
+            self.schema_version,
+            self.window,
+            self.tol * 100.0
+        )?;
+        for p in &self.points {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "point {} — {} samples over {} virtual ms",
+                p.key,
+                p.samples,
+                ms(p.span_ns)
+            )?;
+            match &p.steady {
+                Some(s) => {
+                    writeln!(
+                        f,
+                        "  steady state from sample {} (burn-in horizon {} ms); \
+                         converged WAF {:.3}, final WAF {:.3}",
+                        s.start_idx,
+                        ms(s.start_ns),
+                        s.converged_waf,
+                        p.final_waf
+                    )?;
+                }
+                None => writeln!(
+                    f,
+                    "  NOT CONVERGED — final WAF {:.3} still moving (or too few samples)",
+                    p.final_waf
+                )?,
+            }
+            writeln!(
+                f,
+                "  compaction storms: {}   gc-debt windows: {}",
+                p.storms.len(),
+                p.gc_debt.len()
+            )?;
+            for s in &p.storms {
+                writeln!(
+                    f,
+                    "    storm {} – {} ms: {} bg vs {} fg programs",
+                    ms(s.start_ns),
+                    ms(s.end_ns),
+                    s.bg_writes,
+                    s.fg_writes
+                )?;
+            }
+            for d in &p.gc_debt {
+                writeln!(
+                    f,
+                    "    debt  {} – {} ms: +{} stale bytes, −{} free blocks",
+                    ms(d.start_ns),
+                    ms(d.end_ns),
+                    d.stale_growth,
+                    d.free_block_drop
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64, ts: u64, waf: f64) -> StateSample {
+        StateSample {
+            seq,
+            ts_ns: ts,
+            interval_ops: 100,
+            interval_iops: 12345.5,
+            interval_read_p99_ns: 900,
+            interval_write_p99_ns: 950,
+            host_reads: 10 * (seq + 1),
+            host_writes: 5 * (seq + 1),
+            comp_writes: 2 * seq,
+            gc_writes: seq,
+            erases: seq,
+            cum_waf: waf,
+            cum_raf: 1.25,
+            dram_capacity: 1 << 16,
+            dram_used: 1 << 14,
+            level_list_bytes: 512,
+            group_count: 4,
+            value_log_live_bytes: 4096,
+            value_log_stale_bytes: 128 * seq,
+            free_blocks: 100 - seq,
+            wear_max: 3,
+            wear_total: 7,
+            levels: vec![LevelSample {
+                level: 0,
+                entries: 4,
+                kv_bytes: 1 << 14,
+                phys_bytes: 1 << 15,
+                meta_bytes: 512,
+            }],
+            ..StateSample::default()
+        }
+    }
+
+    fn doc() -> Vec<(String, Vec<StateSample>)> {
+        vec![(
+            "fig10/ZippyDB/AnyKey+".to_string(),
+            (0..4).map(|i| sample(i, i * 1_000_000, 2.5)).collect(),
+        )]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_byte_identically() {
+        let points = doc();
+        let text = write_jsonl(&points);
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.schema_version, TIMELINE_SCHEMA_VERSION);
+        assert_eq!(parsed.points, points);
+        assert_eq!(write_jsonl(&parsed.points), text);
+    }
+
+    #[test]
+    fn jsonl_escapes_point_keys() {
+        let text = write_jsonl(&[("we\"ird\nkey".to_string(), Vec::new())]);
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.points[0].0, "we\"ird\nkey");
+    }
+
+    #[test]
+    fn parse_rejects_missing_header_and_wrong_schema() {
+        let err = parse_jsonl("{\"event\":\"point\",\"key\":\"x\"}\n").unwrap_err();
+        assert!(err.msg.contains("header"), "{err}");
+        let err = parse_jsonl("{\"event\":\"header\",\"schema_version\":99}\n").unwrap_err();
+        assert!(err.msg.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_orphan_sample_and_level() {
+        let text = format!("{}\n{}\n", jsonl_header(), jsonl_sample(&sample(0, 0, 1.0)));
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.msg.contains("point marker"), "{err}");
+
+        let text = format!(
+            "{}\n{}\n{}\n",
+            jsonl_header(),
+            jsonl_point("p"),
+            jsonl_level(3, &LevelSample::default())
+        );
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.msg.contains("does not follow"), "{err}");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_sample() {
+        let text = write_csv(&doc());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("point,seq,ts_ns,"));
+        assert_eq!(lines[0].split(',').count(), CSV_COLUMNS.len());
+        assert!(lines[1].starts_with("fig10/ZippyDB/AnyKey+,0,0,100,12345.500000,"));
+    }
+
+    #[test]
+    fn steady_state_detects_burn_in_boundary() {
+        // WAF climbs for 6 samples, then flattens at 3.0.
+        let curve: Vec<(u64, f64)> = (0..20)
+            .map(|i| {
+                let waf = if i < 6 { 0.5 * i as f64 } else { 3.0 };
+                (i * 10, waf)
+            })
+            .collect();
+        let s = detect_steady_state(&curve, 4, 0.05).expect("converged");
+        assert_eq!(s.start_idx, 6);
+        assert_eq!(s.start_ns, 60);
+        assert!((s.converged_waf - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_rejects_unsettled_and_short_curves() {
+        let rising: Vec<(u64, f64)> = (0..20).map(|i| (i, 1.0 + i as f64)).collect();
+        assert_eq!(detect_steady_state(&rising, 4, 0.05), None);
+        let short = [(0u64, 1.0), (1, 1.0)];
+        assert_eq!(detect_steady_state(&short, 4, 0.05), None);
+    }
+
+    #[test]
+    fn flat_zero_curve_is_steady_from_the_start() {
+        let flat: Vec<(u64, f64)> = (0..10).map(|i| (i, 0.0)).collect();
+        let s = detect_steady_state(&flat, 4, 0.05).expect("flat is steady");
+        assert_eq!(s.start_idx, 0);
+        assert_eq!(s.converged_waf, 0.0);
+    }
+
+    #[test]
+    fn analysis_flags_storms_and_debt() {
+        let mut samples: Vec<StateSample> = (0..6u64)
+            .map(|i| StateSample {
+                seq: i,
+                ts_ns: i * 100,
+                cum_waf: 2.0,
+                host_writes: 10 * i,
+                free_blocks: 50,
+                ..StateSample::default()
+            })
+            .collect();
+        // Samples 2→3: compaction burst with no host writes.
+        samples[3].comp_writes = 500;
+        samples[3].host_writes = samples[2].host_writes;
+        for s in &mut samples[4..] {
+            s.comp_writes = 500;
+        }
+        // Samples 4→5: stale bytes grow and free blocks drop with GC idle.
+        samples[5].value_log_stale_bytes = 4096;
+        samples[5].free_blocks = 40;
+
+        let t = ParsedTimeline {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            points: vec![("p".to_string(), samples)],
+        };
+        let a = analyze(&t, 4, 0.05);
+        assert_eq!(a.points.len(), 1);
+        let p = &a.points[0];
+        assert_eq!(p.storms.len(), 1);
+        assert_eq!(p.storms[0].bg_writes, 500);
+        assert_eq!(p.gc_debt.len(), 1);
+        assert_eq!(p.gc_debt[0].stale_growth, 4096);
+        assert_eq!(p.gc_debt[0].free_block_drop, 10);
+        // Flat WAF converges; the report renders and mentions the verdict.
+        assert!(p.steady.is_some());
+        assert!(a.all_converged());
+        let text = a.to_string();
+        assert!(text.contains("steady state"));
+        assert!(text.contains("storm"));
+    }
+
+    #[test]
+    fn assert_converged_ignores_short_points_but_fails_unsettled_ones() {
+        let short = ParsedTimeline {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            points: vec![("p".to_string(), vec![sample(0, 0, 1.0)])],
+        };
+        assert!(analyze(&short, 8, 0.05).all_converged());
+
+        let rising: Vec<StateSample> = (0..16u64)
+            .map(|i| StateSample {
+                seq: i,
+                ts_ns: i * 100,
+                cum_waf: 1.0 + i as f64,
+                ..StateSample::default()
+            })
+            .collect();
+        let t = ParsedTimeline {
+            schema_version: TIMELINE_SCHEMA_VERSION,
+            points: vec![("p".to_string(), rising)],
+        };
+        let a = analyze(&t, 8, 0.05);
+        assert!(!a.all_converged());
+        assert!(a.to_string().contains("NOT CONVERGED"));
+    }
+}

@@ -28,11 +28,16 @@ cargo test -q --test scheduler_determinism
 echo "==> trace determinism suite"
 cargo test -q --test trace_determinism
 
+echo "==> timeline determinism suite"
+cargo test -q --test timeline_determinism
+
 echo "==> bench smoke: fault sweep at --jobs 1 and --jobs 2 must agree"
 cargo run -q --release -p anykey-bench -- fault --quick --jobs 1 \
-    --out "$VERIFY_DIR/j1" --trace "$VERIFY_DIR/j1/trace.jsonl"
+    --out "$VERIFY_DIR/j1" --trace "$VERIFY_DIR/j1/trace.jsonl" \
+    --timeline "$VERIFY_DIR/j1/timeline.jsonl"
 cargo run -q --release -p anykey-bench -- fault --quick --jobs 2 \
-    --out "$VERIFY_DIR/j2" --trace "$VERIFY_DIR/j2/trace.jsonl"
+    --out "$VERIFY_DIR/j2" --trace "$VERIFY_DIR/j2/trace.jsonl" \
+    --timeline "$VERIFY_DIR/j2/timeline.jsonl"
 cmp "$VERIFY_DIR/j1/fault.csv" "$VERIFY_DIR/j2/fault.csv"
 cargo run -q --release -p xtask -- bench-diff \
     "$VERIFY_DIR/j1/summary.json" "$VERIFY_DIR/j2/summary.json"
@@ -42,6 +47,12 @@ cmp "$VERIFY_DIR/j1/trace.jsonl" "$VERIFY_DIR/j2/trace.jsonl"
 cargo run -q -p xtask -- trace "$VERIFY_DIR/j1/trace.jsonl" \
     > "$VERIFY_DIR/trace-report.txt"
 head -n 5 "$VERIFY_DIR/trace-report.txt"
+
+echo "==> timeline smoke: --jobs 1 and --jobs 2 timelines must be byte-identical"
+cmp "$VERIFY_DIR/j1/timeline.jsonl" "$VERIFY_DIR/j2/timeline.jsonl"
+cargo run -q -p xtask -- timeline "$VERIFY_DIR/j1/timeline.jsonl" \
+    > "$VERIFY_DIR/timeline-report.txt"
+head -n 5 "$VERIFY_DIR/timeline-report.txt"
 
 echo "==> xtask lint"
 cargo run -q -p xtask -- lint

@@ -1,8 +1,8 @@
 //! The trace subsystem's determinism contract: trace files (JSONL and
 //! Chrome trace-event JSON) are byte-identical for any `--jobs` level,
 //! tracing is pure observation (it never changes measured results), the
-//! per-phase breakdown lands in `summary.json` (schema v2), and an engine
-//! that never enabled tracing yields no events.
+//! per-phase breakdown lands in `summary.json`, and an engine that never
+//! enabled tracing yields no events.
 //!
 //! All timestamps in a trace are virtual nanoseconds; the `xtask lint`
 //! `trace-no-wall-clock` rule holds this file to that discipline too.
@@ -118,7 +118,7 @@ fn tracing_is_pure_observation() {
 }
 
 #[test]
-fn summary_schema_v2_carries_phase_fields() {
+fn summary_carries_phase_fields() {
     let (_, parsed) = traced_sweep(1, "schema");
     let field = |p: &ParsedSummary, name: &str| {
         p.fields
@@ -126,7 +126,7 @@ fn summary_schema_v2_carries_phase_fields() {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.clone())
     };
-    assert_eq!(field(&parsed, "schema_version").as_deref(), Some("2"));
+    assert_eq!(field(&parsed, "schema_version").as_deref(), Some("3"));
     let point = parsed.points.first().expect("at least one point");
     for name in [
         "phase_queue_ns",

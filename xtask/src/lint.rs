@@ -19,12 +19,13 @@
 //! - **deps-hermetic** (`rule e`, also `lint --deps`): no external (registry)
 //!   dependency may enter any workspace `Cargo.toml`; everything must be an
 //!   in-workspace path dependency.
-//! - **trace-no-wall-clock** (`rule f`): any file with `trace` in its path
-//!   (trace recorders, exporters, the analyzer, trace tests — wherever it
-//!   lives, including `xtask`) must never mention `SystemTime`, `Instant`
-//!   or `std::time`, even in test code. Trace timestamps are virtual `Ns`
-//!   so traces stay byte-identical across runs and `--jobs` levels; a
-//!   single wall-clock stamp would break that.
+//! - **trace-no-wall-clock** (`rule f`): any file with `trace` or
+//!   `timeline` in its path (recorders, exporters, the analyzers, their
+//!   tests — wherever they live, including `xtask`) must never mention
+//!   `SystemTime`, `Instant` or `std::time`, even in test code. Trace and
+//!   timeline timestamps are virtual `Ns` so both artifacts stay
+//!   byte-identical across runs and `--jobs` levels; a single wall-clock
+//!   stamp would break that.
 //!
 //! The scanner is line-based on comment/string-stripped source: precise
 //! enough for these rules, fast, and dependency-free. Every rule is
@@ -358,9 +359,10 @@ fn scope_for(rel: &str) -> Scope {
         no_wall_clock: (sim_crate || rel.starts_with("tests/"))
             && !WALL_CLOCK_ALLOWLIST.contains(&rel),
         doc_public: !whole_file_test && rel.starts_with("crates/") && rel.contains("/src/"),
-        // Path-based, not crate-based: trace code in `xtask` and `tests/`
-        // is held to the same virtual-time discipline as the recorders.
-        trace_no_wall_clock: rel.contains("trace"),
+        // Path-based, not crate-based: trace and timeline code in `xtask`
+        // and `tests/` is held to the same virtual-time discipline as the
+        // recorders, so neither artifact can ever carry a wall-clock byte.
+        trace_no_wall_clock: rel.contains("trace") || rel.contains("timeline"),
     }
 }
 
@@ -414,8 +416,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 "wall-clock time in a simulation crate; use virtual `Ns` timestamps".to_string(),
             );
         }
-        // Applies even inside `#[cfg(test)]`: a wall-clock stamp anywhere in
-        // trace code breaks byte-identical traces.
+        // Applies even inside `#[cfg(test)]`: a wall-clock stamp anywhere
+        // in trace or timeline code breaks byte-identical artifacts.
         if scope.trace_no_wall_clock
             && ["std::time", "SystemTime", "Instant"]
                 .iter()
@@ -424,7 +426,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             push(
                 i,
                 Rule::TraceNoWallClock,
-                "wall-clock construct in trace code; trace timestamps must be virtual `Ns`"
+                "wall-clock construct in trace/timeline code; timestamps must be virtual `Ns`"
                     .to_string(),
             );
         }
@@ -801,6 +803,36 @@ mod tests {
     fn clean_trace_code_passes() {
         let src = "/// Virtual stamp.\npub fn ts(at: u64) -> u64 {\n    at\n}\n";
         assert!(lint_source("crates/flash/src/trace.rs", src)
+            .iter()
+            .all(|v| v.rule != Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn flags_wall_clock_in_timeline_module() {
+        let src = "fn stamp() -> u64 {\n    let _ = std::time::SystemTime::now();\n    0\n}\n";
+        let vs = lint_source("crates/metrics/src/timeline.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn flags_instant_in_timeline_analyzer_even_inside_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = Instant::now();\n    }\n}\n";
+        let vs = lint_source("xtask/src/timeline_cmd.rs", src);
+        assert_eq!(rules(&vs), vec![Rule::TraceNoWallClock]);
+        assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn timeline_rule_covers_timeline_integration_tests() {
+        let src = "fn t() {\n    let _ = std::time::Instant::now();\n}\n";
+        let vs = lint_source("tests/timeline_determinism.rs", src);
+        assert!(vs.iter().any(|v| v.rule == Rule::TraceNoWallClock));
+    }
+
+    #[test]
+    fn clean_timeline_code_passes() {
+        let src = "/// Virtual stamp.\npub fn ts(at: u64) -> u64 {\n    at\n}\n";
+        assert!(lint_source("crates/metrics/src/timeline.rs", src)
             .iter()
             .all(|v| v.rule != Rule::TraceNoWallClock));
     }

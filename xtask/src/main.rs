@@ -9,9 +9,13 @@
 //!   tolerance bands.
 //! - [`trace_cmd`]: the virtual-time trace analyzer summarizing JSONL
 //!   traces captured with `anykey-bench --trace`.
+//! - [`timeline_cmd`]: the timeline analyzer — burn-in/steady-state
+//!   detection over JSONL timelines captured with `anykey-bench
+//!   --timeline`, with a `--assert-converged` CI gate.
 
 mod bench_diff;
 mod lint;
+mod timeline_cmd;
 mod trace_cmd;
 
 fn main() {
@@ -20,13 +24,15 @@ fn main() {
         Some("lint") => lint::run_cli(),
         Some("bench-diff") => bench_diff::run_cli(&args[1..]),
         Some("trace") => trace_cmd::run_cli(&args[1..]),
+        Some("timeline") => timeline_cmd::run_cli(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <command>\n\
                  commands:\n\
                    lint [--deps]                         repo-specific static checks\n\
                    bench-diff <baseline> <candidate>     summary.json regression gate\n\
-                   trace <trace.jsonl> [--top K]         trace analyzer (phase breakdown)"
+                   trace <trace.jsonl> [--top K]         trace analyzer (phase breakdown)\n\
+                   timeline <timeline.jsonl>             timeline analyzer (steady state)"
             );
             2
         }
